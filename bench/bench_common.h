@@ -1,0 +1,49 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benches. Each bench prints the
+// same rows/series the corresponding paper figure reports and mirrors them
+// into a CSV under bench_out/ for plotting.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/csv.h"
+
+namespace cea::bench {
+
+/// Number of averaged runs per data point. The paper averages 10; the
+/// benches default to 5 to keep the whole suite fast. Override with the
+/// CEA_BENCH_RUNS environment variable.
+inline std::size_t num_runs() {
+  if (const char* env = std::getenv("CEA_BENCH_RUNS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 5;
+}
+
+/// CSV sink under bench_out/ (created on demand).
+inline CsvWriter make_csv(const std::string& figure) {
+  std::filesystem::create_directories("bench_out");
+  return CsvWriter("bench_out/" + figure + ".csv");
+}
+
+/// The reduced combo set most figures plot (the paper omits some of the 12
+/// for visual clarity; we follow Figs. 3-7's selection).
+inline std::vector<sim::AlgorithmCombo> figure_combos() {
+  std::vector<sim::AlgorithmCombo> picked;
+  picked.push_back(sim::ours_combo());
+  for (auto& combo : sim::baseline_combos()) {
+    const auto& name = combo.name;
+    if (name == "Ran-Ran" || name == "Ran-LY" || name == "Greedy-Ran" ||
+        name == "Greedy-LY" || name == "TINF-Ran" || name == "TINF-LY" ||
+        name == "UCB-Ran" || name == "UCB-TH" || name == "UCB-LY") {
+      picked.push_back(std::move(combo));
+    }
+  }
+  return picked;
+}
+
+}  // namespace cea::bench

@@ -1,0 +1,63 @@
+// Extension (paper Section VII, future work #1): price prediction in the
+// trading loop. PredictiveCarbonTrader replaces Algorithm 2's trailing
+// prices with online AR(1) forecasts; everything else is identical, so the
+// delta isolates the value of prediction.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/carbon_trader.h"
+#include "core/mpc_trader.h"
+#include "core/predictive_trader.h"
+#include "core/regret.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cea;
+  const std::size_t runs = bench::num_runs();
+  std::printf("Extension — AR(1) price prediction in Algorithm 2 "
+              "(%zu-run avg)\n\n",
+              runs);
+
+  const std::vector<sim::AlgorithmCombo> variants = {
+      sim::ours_combo(),
+      {"Ours+Predict", sim::ours_combo().policy,
+       core::PredictiveCarbonTrader::factory()},
+      // Receding-horizon LP over AR(1) rollouts (core/mpc_trader.h):
+      // planning-heavy contrast to the O(1) primal-dual step.
+      {"Ours+MPC", sim::ours_combo().policy,
+       core::MpcCarbonTrader::factory(12)},
+  };
+
+  auto csv = bench::make_csv("ext_price_prediction");
+  csv.write_row({"variant", "volatility", "trading_cost", "fit",
+                 "unit_cost"});
+  for (const double volatility : {0.15, 0.35, 0.7}) {
+    sim::SimConfig config;
+    config.num_edges = 10;
+    config.market.volatility = volatility;
+    config.seed = 42;
+    const auto env = sim::Environment::make_parametric(config);
+    std::printf("price volatility %.2f:\n", volatility);
+    Table table({"variant", "trading cost", "fit", "unit cost"});
+    for (const auto& variant : variants) {
+      const auto result = sim::run_combo_averaged(env, variant, runs, 7);
+      const double fit =
+          core::fit(result.emissions, result.buys, result.sells,
+                    config.carbon_cap);
+      table.add_row(variant.name,
+                    {result.total_trading_cost(), fit,
+                     result.unit_purchase_cost()},
+                    2);
+      csv.write_row(variant.name,
+                    {volatility, result.total_trading_cost(), fit,
+                     result.unit_purchase_cost()});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("Expected: modest unit-cost gains that grow with volatility "
+              "(the step already self-corrects through the dual, so the "
+              "headroom is small); the neutrality guarantee is untouched — "
+              "the dual update is unchanged.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 11: fit (cumulative carbon-neutrality violation) as the horizon T
+// grows. Paper's finding: Ours' fit starts non-zero but decays toward zero;
+// growth over T is sub-linear (Theorem 2: O(T^{2/3})).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/regret.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cea;
+  const std::size_t runs = bench::num_runs();
+  const std::vector<std::size_t> horizons = {40, 80, 160, 320, 640};
+
+  std::printf("Fig. 11 — fit vs horizon (%zu-run avg)\n\n", runs);
+
+  std::vector<sim::AlgorithmCombo> combos;
+  combos.push_back(sim::ours_combo());
+  for (auto& combo : sim::baseline_combos()) {
+    if (combo.name == "UCB-LY" || combo.name == "UCB-TH" ||
+        combo.name == "UCB-Ran")
+      combos.push_back(std::move(combo));
+  }
+
+  std::vector<std::string> header = {"algorithm"};
+  for (auto t : horizons) header.push_back("T=" + std::to_string(t));
+  header.push_back("fit/T @640");
+  Table table(header);
+  auto csv = bench::make_csv("fig11");
+  {
+    std::vector<std::string> csv_header = {"algorithm"};
+    for (auto t : horizons) csv_header.push_back(std::to_string(t));
+    csv.write_row(csv_header);
+  }
+
+  for (const auto& combo : combos) {
+    std::vector<double> fits;
+    for (const std::size_t horizon : horizons) {
+      sim::SimConfig config;
+      config.num_edges = 10;
+      config.horizon = horizon;
+      config.workload.num_slots = horizon;
+      config.carbon_cap = 500.0 * static_cast<double>(horizon) / 160.0;
+      config.seed = 42;
+      const auto env = sim::Environment::make_parametric(config);
+      double fit_sum = 0.0;
+      for (std::size_t r = 0; r < runs; ++r) {
+        const auto result = sim::run_combo(env, combo, 8 + r);
+        fit_sum += core::fit(result.emissions, result.buys, result.sells,
+                             config.carbon_cap);
+      }
+      fits.push_back(fit_sum / static_cast<double>(runs));
+    }
+    auto row = fits;
+    csv.write_row(combo.name, row);
+    row.push_back(fits.back() / static_cast<double>(horizons.back()));
+    table.add_row(combo.name, row, 2);
+  }
+  table.print();
+
+  // Time-decay of the fit within one horizon (the figure's inset shape).
+  sim::SimConfig config;
+  config.num_edges = 10;
+  config.seed = 42;
+  const auto env = sim::Environment::make_parametric(config);
+  const auto ours = sim::run_combo_averaged(env, sim::ours_combo(), runs, 8);
+  const auto series = core::fit_series(ours.emissions, ours.buys, ours.sells,
+                                       config.carbon_cap);
+  std::printf("\nOurs fit over time (T=160, prorated cap): ");
+  for (std::size_t t = 19; t < series.size(); t += 20)
+    std::printf("t=%zu:%.1f  ", t + 1, series[t]);
+  std::printf("\nExpected shape: early transient, then decaying toward 0; "
+              "fit/T vanishing with larger T.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Fig. 12: inference accuracy per time slot on the MNIST-like stream, with
+// the full six-model zoo of Section V-A trained from scratch.
+// Paper's finding: Greedy-Ran worst (energy-only selection); UCB-Ran and
+// TINF-Ran close to Ours; Ours closest to Offline.
+//
+// Training sizes are kept modest so the bench finishes in tens of seconds;
+// scale with CEA_BENCH_TRAIN_SAMPLES / CEA_BENCH_TRAIN_EPOCHS.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "data/loss_profile.h"
+#include "data/synthetic_dataset.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+#include "util/table.h"
+
+namespace {
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cea;
+  const std::size_t train_samples = env_or("CEA_BENCH_TRAIN_SAMPLES", 500);
+  const std::size_t epochs = env_or("CEA_BENCH_TRAIN_EPOCHS", 2);
+
+  std::printf("Fig. 12 — per-slot accuracy on the MNIST-like stream\n");
+  std::printf("Training 6-model zoo (%zu samples, %zu epochs)...\n",
+              train_samples, epochs);
+
+  const data::SyntheticDistribution dist(data::mnist_like_spec());
+  Rng data_rng(1);
+  const data::Dataset train_set = dist.sample(train_samples, data_rng);
+  const data::Dataset test_set = dist.sample(400, data_rng);
+
+  Rng model_rng(2);
+  auto zoo = nn::make_mnist_zoo(model_rng);
+  nn::TrainConfig train_config;
+  train_config.epochs = epochs;
+  train_config.batch_size = 32;
+  train_config.learning_rate = 0.05f;
+  std::vector<data::LossProfile> profiles;
+  for (auto& model : zoo) {
+    nn::train_sgd(model, train_set.samples, train_set.labels, train_config,
+                  model_rng);
+    profiles.push_back(data::profile_model(model, test_set));
+    std::printf("  %-18s size %5.2f MB  mean loss %.3f  accuracy %.3f\n",
+                model.name().c_str(), model.size_mb(),
+                profiles.back().mean_loss(), profiles.back().accuracy());
+  }
+
+  sim::SimConfig config;
+  config.num_edges = 10;
+  config.seed = 42;
+  const auto env = sim::Environment::from_profiles(config, std::move(profiles));
+
+  std::vector<sim::AlgorithmCombo> combos;
+  combos.push_back(sim::ours_combo());
+  for (auto& combo : sim::baseline_combos()) {
+    if (combo.name == "Greedy-Ran" || combo.name == "UCB-Ran" ||
+        combo.name == "TINF-Ran")
+      combos.push_back(std::move(combo));
+  }
+
+  const std::size_t runs = bench::num_runs();
+  const std::vector<std::size_t> checkpoints = {19, 59, 99, 139, 159};
+  std::vector<std::string> header = {"algorithm"};
+  for (auto t : checkpoints) header.push_back("t=" + std::to_string(t + 1));
+  header.push_back("mean");
+  Table table(header);
+  auto csv = bench::make_csv("fig12");
+  {
+    std::vector<std::string> csv_header = {"algorithm"};
+    for (auto t : checkpoints) csv_header.push_back(std::to_string(t + 1));
+    csv_header.push_back("mean");
+    csv.write_row(csv_header);
+  }
+
+  auto emit = [&](const sim::RunResult& result) {
+    std::vector<double> row;
+    for (auto t : checkpoints) row.push_back(result.accuracy[t]);
+    row.push_back(result.mean_accuracy());
+    table.add_row(result.algorithm, row, 3);
+    csv.write_row(result.algorithm, row);
+  };
+  for (const auto& combo : combos)
+    emit(sim::run_combo_averaged_parallel(env, combo, runs, 7));
+  emit(sim::run_offline_averaged(env, runs, 7));
+  table.print();
+  std::printf("\nExpected shape: Ours tracks Offline; Greedy-Ran lowest "
+              "(selects by energy, i.e. the smallest model).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Overview "table": every algorithm combo of Section V plus Offline and the
+// library's extensions on the default paper scenario, ranked by settled
+// total cost, followed by a deep-dive report on Ours.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/mpc_trader.h"
+#include "core/pooled_tsallis.h"
+#include "core/predictive_trader.h"
+#include "sim/report.h"
+
+int main() {
+  using namespace cea;
+  const std::size_t runs = bench::num_runs();
+
+  sim::SimConfig config;
+  config.num_edges = 10;
+  config.seed = 42;
+  const auto env = sim::Environment::make_parametric(config);
+
+  std::printf("Summary — all combos + extensions on the default scenario "
+              "(%zu-run avg)\n\n",
+              runs);
+
+  std::vector<sim::RunResult> results;
+  for (const auto& combo : sim::all_combos()) {
+    results.push_back(sim::run_combo_averaged_parallel(env, combo, runs, 7));
+  }
+  results.push_back(sim::run_offline_averaged(env, runs, 7));
+  // Extensions (serial averaging for the stateful pooled factory).
+  results.push_back(sim::run_combo_averaged(
+      env,
+      {"Pooled-PD", core::pooled_tsallis_factory(), sim::ours_combo().trader},
+      runs, 7));
+  results.push_back(sim::run_combo_averaged_parallel(
+      env,
+      {"Ours-MPC", sim::ours_combo().policy, core::MpcCarbonTrader::factory()},
+      runs, 7));
+  results.push_back(sim::run_combo_averaged_parallel(
+      env,
+      {"Ours-Predict", sim::ours_combo().policy,
+       core::PredictiveCarbonTrader::factory()},
+      runs, 7));
+
+  std::fputs(sim::comparison_report(env, results).c_str(), stdout);
+
+  std::printf("\n");
+  for (const auto& result : results) {
+    if (result.algorithm == "Ours") {
+      std::fputs(sim::run_report(env, result).c_str(), stdout);
+      break;
+    }
+  }
+  return 0;
+}

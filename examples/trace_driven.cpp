@@ -1,0 +1,62 @@
+// Trace-driven workflow: export a generated scenario's workload and price
+// traces to CSV, edit/replace them out of band (here we just perturb them
+// programmatically, standing in for real TfL/EU files), reload, inject them
+// into the environment, and re-run the comparison. This is the path for
+// plugging real data into the simulator — see data/trace_io.h for formats.
+#include <cstdio>
+#include <filesystem>
+
+#include "data/trace_io.h"
+#include "sim/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cea;
+
+  sim::SimConfig config;
+  config.num_edges = 6;
+  config.seed = 33;
+  auto env = sim::Environment::make_parametric(config);
+
+  // 1. Export the generated traces (the file format real data must match).
+  std::filesystem::create_directories("bench_out");
+  const std::string workload_path = "bench_out/example_workload.csv";
+  const std::string prices_path = "bench_out/example_prices.csv";
+  data::save_workload_csv(env.workload(), workload_path);
+  data::save_prices_csv(env.prices(), prices_path);
+  std::printf("Exported traces to %s and %s\n", workload_path.c_str(),
+              prices_path.c_str());
+
+  // 2. Reload and perturb: a flash event doubles the workload of every
+  //    edge for ten afternoon slots (this is where you would instead load
+  //    your own measured CSVs).
+  auto workload = data::load_workload_csv(workload_path);
+  for (auto& trace : workload) {
+    for (std::size_t t = 60; t < 70 && t < trace.size(); ++t) trace[t] *= 2;
+  }
+  auto prices = data::load_prices_csv(prices_path);
+
+  // 3. Inject and re-run.
+  auto flash_env = sim::Environment::make_parametric(config);
+  flash_env.replace_traces(std::move(workload), std::move(prices));
+
+  Table table({"scenario", "settled cost", "emissions", "net bought",
+               "accuracy"});
+  for (const auto& scenario :
+       {std::pair<const char*, const sim::Environment*>{"baseline", &env},
+        std::pair<const char*, const sim::Environment*>{"flash crowd",
+                                                        &flash_env}}) {
+    const auto result =
+        sim::run_combo_averaged(*scenario.second, sim::ours_combo(), 5, 1);
+    table.add_row(scenario.first,
+                  {result.settled_total_cost(), result.total_emissions(),
+                   result.total_buys() - result.total_sells(),
+                   result.mean_accuracy()},
+                  2);
+  }
+  table.print();
+  std::printf("\nThe flash crowd raises emissions, and the online trader "
+              "buys correspondingly more allowances — driven entirely by "
+              "the injected trace.\n");
+  return 0;
+}

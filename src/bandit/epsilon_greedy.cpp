@@ -1,0 +1,34 @@
+#include "bandit/epsilon_greedy.h"
+
+#include <cassert>
+#include <memory>
+
+namespace cea::bandit {
+
+EpsilonGreedyPolicy::EpsilonGreedyPolicy(const PolicyContext& context,
+                                         double epsilon)
+    : stats_(context.num_models), epsilon_(epsilon), rng_(context.seed) {
+  assert(context.num_models > 0);
+  assert(epsilon >= 0.0 && epsilon <= 1.0);
+}
+
+std::size_t EpsilonGreedyPolicy::select(std::size_t /*t*/) {
+  if (rng_.bernoulli(epsilon_)) {
+    return static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(stats_.num_arms()) - 1));
+  }
+  return stats_.best_arm();
+}
+
+void EpsilonGreedyPolicy::feedback(std::size_t /*t*/, std::size_t arm,
+                                   double loss) {
+  stats_.observe(arm, loss);
+}
+
+PolicyFactory EpsilonGreedyPolicy::factory(double epsilon) {
+  return [epsilon](const PolicyContext& context) {
+    return std::make_unique<EpsilonGreedyPolicy>(context, epsilon);
+  };
+}
+
+}  // namespace cea::bandit

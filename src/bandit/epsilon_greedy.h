@@ -1,0 +1,26 @@
+#pragma once
+
+#include "bandit/policy.h"
+
+namespace cea::bandit {
+
+/// Classic epsilon-greedy: with probability epsilon explore a random arm,
+/// otherwise exploit the best empirical mean. Included as an extra
+/// reference point beyond the paper's baseline set.
+class EpsilonGreedyPolicy final : public ModelSelectionPolicy {
+ public:
+  EpsilonGreedyPolicy(const PolicyContext& context, double epsilon);
+
+  std::size_t select(std::size_t t) override;
+  void feedback(std::size_t t, std::size_t arm, double loss) override;
+  std::string name() const override { return "EpsGreedy"; }
+
+  static PolicyFactory factory(double epsilon = 0.1);
+
+ private:
+  ArmStats stats_;
+  double epsilon_;
+  Rng rng_;
+};
+
+}  // namespace cea::bandit

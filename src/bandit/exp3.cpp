@@ -1,0 +1,46 @@
+#include "bandit/exp3.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace cea::bandit {
+
+Exp3Policy::Exp3Policy(const PolicyContext& context)
+    : cumulative_losses_(context.num_models, 0.0),
+      probabilities_(context.num_models, 0.0),
+      rng_(context.seed) {
+  assert(context.num_models > 0);
+}
+
+std::size_t Exp3Policy::select(std::size_t /*t*/) {
+  const std::size_t n = cumulative_losses_.size();
+  const double t = static_cast<double>(plays_ + 1);
+  const double eta =
+      std::sqrt(std::log(static_cast<double>(n)) /
+                (static_cast<double>(n) * t));
+  const double min_loss =
+      *std::min_element(cumulative_losses_.begin(), cumulative_losses_.end());
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    probabilities_[i] = std::exp(-eta * (cumulative_losses_[i] - min_loss));
+    total += probabilities_[i];
+  }
+  for (auto& p : probabilities_) p /= total;
+  return rng_.categorical(probabilities_);
+}
+
+void Exp3Policy::feedback(std::size_t /*t*/, std::size_t arm, double loss) {
+  ++plays_;
+  const double p = std::max(probabilities_[arm], 1e-12);
+  cumulative_losses_[arm] += loss / p;
+}
+
+PolicyFactory Exp3Policy::factory() {
+  return [](const PolicyContext& context) {
+    return std::make_unique<Exp3Policy>(context);
+  };
+}
+
+}  // namespace cea::bandit

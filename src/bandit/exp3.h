@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "bandit/policy.h"
+
+namespace cea::bandit {
+
+/// EXP3 (exponential weights for exploration and exploitation) with
+/// importance-weighted loss estimates and an anytime learning rate
+/// eta_t = sqrt(ln N / (N t)). Extra reference baseline.
+class Exp3Policy final : public ModelSelectionPolicy {
+ public:
+  explicit Exp3Policy(const PolicyContext& context);
+
+  std::size_t select(std::size_t t) override;
+  void feedback(std::size_t t, std::size_t arm, double loss) override;
+  std::string name() const override { return "EXP3"; }
+
+  static PolicyFactory factory();
+
+ private:
+  std::vector<double> cumulative_losses_;
+  std::vector<double> probabilities_;
+  Rng rng_;
+  std::size_t plays_ = 0;
+};
+
+}  // namespace cea::bandit

@@ -1,0 +1,33 @@
+#include "bandit/greedy_policy.h"
+
+#include <cassert>
+#include <memory>
+
+namespace cea::bandit {
+
+GreedyEnergyPolicy::GreedyEnergyPolicy(const PolicyContext& context)
+    : chosen_(0) {
+  assert(context.num_models > 0);
+  // Fall back to model 0 when no energy table is provided.
+  if (context.energy_per_sample.size() == context.num_models) {
+    for (std::size_t n = 1; n < context.num_models; ++n) {
+      if (context.energy_per_sample[n] <
+          context.energy_per_sample[chosen_]) {
+        chosen_ = n;
+      }
+    }
+  }
+}
+
+std::size_t GreedyEnergyPolicy::select(std::size_t /*t*/) { return chosen_; }
+
+void GreedyEnergyPolicy::feedback(std::size_t /*t*/, std::size_t /*arm*/,
+                                  double /*loss*/) {}
+
+PolicyFactory GreedyEnergyPolicy::factory() {
+  return [](const PolicyContext& context) {
+    return std::make_unique<GreedyEnergyPolicy>(context);
+  };
+}
+
+}  // namespace cea::bandit

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "bandit/policy.h"
+
+namespace cea::bandit {
+
+/// "Greedy" baseline of Section V-A: always select the model with the lowest
+/// per-sample energy consumption phi_n. It never switches after the first
+/// slot (minimal switching cost) but ignores inference loss entirely.
+class GreedyEnergyPolicy final : public ModelSelectionPolicy {
+ public:
+  explicit GreedyEnergyPolicy(const PolicyContext& context);
+
+  std::size_t select(std::size_t t) override;
+  void feedback(std::size_t t, std::size_t arm, double loss) override;
+  std::string name() const override { return "Greedy"; }
+
+  static PolicyFactory factory();
+
+ private:
+  std::size_t chosen_;
+};
+
+}  // namespace cea::bandit

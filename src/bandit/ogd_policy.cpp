@@ -1,0 +1,51 @@
+#include "bandit/ogd_policy.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "opt/projection.h"
+
+namespace cea::bandit {
+
+OgdPolicy::OgdPolicy(const PolicyContext& context, double eta_scale,
+                     double exploration)
+    : probabilities_(context.num_models,
+                     1.0 / static_cast<double>(context.num_models)),
+      sampling_probabilities_(probabilities_),
+      eta_scale_(eta_scale),
+      exploration_(exploration),
+      rng_(context.seed) {
+  assert(context.num_models > 0);
+  assert(eta_scale > 0.0);
+  assert(exploration >= 0.0 && exploration < 1.0);
+}
+
+std::size_t OgdPolicy::select(std::size_t /*t*/) {
+  const double uniform =
+      1.0 / static_cast<double>(probabilities_.size());
+  for (std::size_t n = 0; n < probabilities_.size(); ++n) {
+    sampling_probabilities_[n] =
+        (1.0 - exploration_) * probabilities_[n] + exploration_ * uniform;
+  }
+  return rng_.categorical(sampling_probabilities_);
+}
+
+void OgdPolicy::feedback(std::size_t /*t*/, std::size_t arm, double loss) {
+  ++plays_;
+  const double eta =
+      eta_scale_ / std::sqrt(static_cast<double>(plays_));
+  // Importance-weighted gradient estimate: only the played arm's
+  // coordinate is nonzero.
+  std::vector<double> shifted = probabilities_;
+  shifted[arm] -= eta * loss / std::max(sampling_probabilities_[arm], 1e-12);
+  probabilities_ = project_to_simplex(shifted);
+}
+
+PolicyFactory OgdPolicy::factory(double eta_scale, double exploration) {
+  return [=](const PolicyContext& context) {
+    return std::make_unique<OgdPolicy>(context, eta_scale, exploration);
+  };
+}
+
+}  // namespace cea::bandit

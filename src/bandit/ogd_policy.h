@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "bandit/policy.h"
+
+namespace cea::bandit {
+
+/// Online gradient descent on the probability simplex with importance-
+/// weighted loss estimates: p_{t+1} = Proj_simplex(p_t - eta_t ghat_t).
+/// The classic OCO-style bandit baseline — contrasts the Euclidean
+/// geometry (simplex projection) against the Tsallis-entropy mirror
+/// geometry the paper's Algorithm 1 uses.
+class OgdPolicy final : public ModelSelectionPolicy {
+ public:
+  /// eta_t = eta_scale / sqrt(t); `exploration` mixes in a uniform floor so
+  /// importance weights stay bounded.
+  OgdPolicy(const PolicyContext& context, double eta_scale,
+            double exploration);
+
+  std::size_t select(std::size_t t) override;
+  void feedback(std::size_t t, std::size_t arm, double loss) override;
+  std::string name() const override { return "OGD"; }
+
+  static PolicyFactory factory(double eta_scale = 0.5,
+                               double exploration = 0.05);
+
+  const std::vector<double>& probabilities() const noexcept {
+    return probabilities_;
+  }
+
+ private:
+  std::vector<double> probabilities_;
+  std::vector<double> sampling_probabilities_;
+  double eta_scale_;
+  double exploration_;
+  Rng rng_;
+  std::size_t plays_ = 0;
+};
+
+}  // namespace cea::bandit

@@ -1,0 +1,16 @@
+#include "bandit/policy.h"
+
+namespace cea::bandit {
+
+std::size_t ArmStats::best_arm() const noexcept {
+  for (std::size_t arm = 0; arm < counts_.size(); ++arm) {
+    if (counts_[arm] == 0) return arm;
+  }
+  std::size_t best = 0;
+  for (std::size_t arm = 1; arm < counts_.size(); ++arm) {
+    if (mean(arm) < mean(best)) best = arm;
+  }
+  return best;
+}
+
+}  // namespace cea::bandit

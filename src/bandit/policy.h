@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cea::bandit {
+
+/// Static, per-edge information a model-selection policy may use.
+///
+/// `switching_cost` is u_i (download delay of a model change) and
+/// `energy_per_sample[n]` is phi_n; the Greedy baseline selects by energy,
+/// the paper's Algorithm 1 sizes its blocks from u_i.
+struct PolicyContext {
+  std::size_t num_models = 0;
+  double switching_cost = 1.0;
+  std::vector<double> energy_per_sample;
+  std::uint64_t seed = 1;
+  std::size_t horizon = 0;  ///< T, if known (0 = unknown/anytime)
+  std::size_t edge = 0;     ///< index of the edge this policy serves
+};
+
+/// Online model-selection policy for a single edge (the "arms" are models).
+///
+/// Per time slot the simulator calls select() to obtain the model to host,
+/// then feedback() with the realized bandit loss for the *selected* arm,
+/// which per the paper's Insight 2 is L_{i,n}^t + v_{i,n} (average inference
+/// loss over the slot's samples plus the observed computation cost).
+class ModelSelectionPolicy {
+ public:
+  virtual ~ModelSelectionPolicy() = default;
+
+  /// Model to host at time slot t (0-based). Must be < num_models.
+  virtual std::size_t select(std::size_t t) = 0;
+
+  /// Bandit feedback for slot t on the arm that select(t) returned.
+  virtual void feedback(std::size_t t, std::size_t arm, double loss) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Factory so experiments can instantiate one policy per edge.
+using PolicyFactory =
+    std::function<std::unique_ptr<ModelSelectionPolicy>(const PolicyContext&)>;
+
+/// Tracks per-arm empirical means; shared by several baselines.
+class ArmStats {
+ public:
+  explicit ArmStats(std::size_t num_arms)
+      : counts_(num_arms, 0), sums_(num_arms, 0.0) {}
+
+  void observe(std::size_t arm, double loss) noexcept {
+    ++counts_[arm];
+    sums_[arm] += loss;
+  }
+
+  std::size_t count(std::size_t arm) const noexcept { return counts_[arm]; }
+  double mean(std::size_t arm) const noexcept {
+    return counts_[arm] > 0
+               ? sums_[arm] / static_cast<double>(counts_[arm])
+               : 0.0;
+  }
+  std::size_t total_count() const noexcept {
+    std::size_t total = 0;
+    for (auto c : counts_) total += c;
+    return total;
+  }
+  std::size_t num_arms() const noexcept { return counts_.size(); }
+
+  /// Arm with the lowest empirical mean among arms played at least once;
+  /// unplayed arms are preferred (returned first, lowest index).
+  std::size_t best_arm() const noexcept;
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::vector<double> sums_;
+};
+
+}  // namespace cea::bandit

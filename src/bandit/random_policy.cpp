@@ -1,0 +1,27 @@
+#include "bandit/random_policy.h"
+
+#include <cassert>
+#include <memory>
+
+namespace cea::bandit {
+
+RandomPolicy::RandomPolicy(const PolicyContext& context)
+    : num_models_(context.num_models), rng_(context.seed) {
+  assert(num_models_ > 0);
+}
+
+std::size_t RandomPolicy::select(std::size_t /*t*/) {
+  return static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(num_models_) - 1));
+}
+
+void RandomPolicy::feedback(std::size_t /*t*/, std::size_t /*arm*/,
+                            double /*loss*/) {}
+
+PolicyFactory RandomPolicy::factory() {
+  return [](const PolicyContext& context) {
+    return std::make_unique<RandomPolicy>(context);
+  };
+}
+
+}  // namespace cea::bandit

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "bandit/policy.h"
+
+namespace cea::bandit {
+
+/// "Random" baseline of Section V-A: pick a uniformly random model at every
+/// time slot, ignoring all feedback (and paying heavy switching cost).
+class RandomPolicy final : public ModelSelectionPolicy {
+ public:
+  explicit RandomPolicy(const PolicyContext& context);
+
+  std::size_t select(std::size_t t) override;
+  void feedback(std::size_t t, std::size_t arm, double loss) override;
+  std::string name() const override { return "Random"; }
+
+  static PolicyFactory factory();
+
+ private:
+  std::size_t num_models_;
+  Rng rng_;
+};
+
+}  // namespace cea::bandit

@@ -1,0 +1,52 @@
+#include "bandit/thompson.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace cea::bandit {
+
+ThompsonSamplingPolicy::ThompsonSamplingPolicy(const PolicyContext& context,
+                                               double prior_stddev,
+                                               double observation_stddev)
+    : means_(context.num_models, 0.0),
+      precisions_(context.num_models, 1.0 / (prior_stddev * prior_stddev)),
+      observation_precision_(1.0 / (observation_stddev * observation_stddev)),
+      rng_(context.seed) {
+  assert(context.num_models > 0);
+  assert(prior_stddev > 0.0 && observation_stddev > 0.0);
+}
+
+std::size_t ThompsonSamplingPolicy::select(std::size_t /*t*/) {
+  std::size_t best = 0;
+  double best_draw = 0.0;
+  for (std::size_t arm = 0; arm < means_.size(); ++arm) {
+    const double stddev = std::sqrt(1.0 / precisions_[arm]);
+    const double draw = rng_.normal(means_[arm], stddev);
+    if (arm == 0 || draw < best_draw) {
+      best = arm;
+      best_draw = draw;
+    }
+  }
+  return best;
+}
+
+void ThompsonSamplingPolicy::feedback(std::size_t /*t*/, std::size_t arm,
+                                      double loss) {
+  // Conjugate normal update with known observation precision.
+  const double new_precision = precisions_[arm] + observation_precision_;
+  means_[arm] = (precisions_[arm] * means_[arm] +
+                 observation_precision_ * loss) /
+                new_precision;
+  precisions_[arm] = new_precision;
+}
+
+PolicyFactory ThompsonSamplingPolicy::factory(double prior_stddev,
+                                              double observation_stddev) {
+  return [=](const PolicyContext& context) {
+    return std::make_unique<ThompsonSamplingPolicy>(context, prior_stddev,
+                                                    observation_stddev);
+  };
+}
+
+}  // namespace cea::bandit

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "bandit/policy.h"
+
+namespace cea::bandit {
+
+/// Gaussian Thompson sampling: each arm's mean loss carries a normal
+/// posterior (known-variance conjugate update); every slot samples one
+/// draw per arm and plays the smallest. Extra baseline beyond the paper's
+/// set — a strong stochastic learner with unbounded switching.
+class ThompsonSamplingPolicy final : public ModelSelectionPolicy {
+ public:
+  /// `prior_stddev` is the prior scale of each arm's mean;
+  /// `observation_stddev` the assumed per-observation noise.
+  ThompsonSamplingPolicy(const PolicyContext& context, double prior_stddev,
+                         double observation_stddev);
+
+  std::size_t select(std::size_t t) override;
+  void feedback(std::size_t t, std::size_t arm, double loss) override;
+  std::string name() const override { return "Thompson"; }
+
+  static PolicyFactory factory(double prior_stddev = 1.0,
+                               double observation_stddev = 0.25);
+
+  /// Posterior mean of an arm (exposed for tests).
+  double posterior_mean(std::size_t arm) const noexcept {
+    return means_[arm];
+  }
+
+ private:
+  std::vector<double> means_;       // posterior means
+  std::vector<double> precisions_;  // posterior precisions (1/var)
+  double observation_precision_;
+  Rng rng_;
+};
+
+}  // namespace cea::bandit

@@ -1,0 +1,37 @@
+#include "bandit/tsallis_inf.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "opt/tsallis_step.h"
+
+namespace cea::bandit {
+
+TsallisInfPolicy::TsallisInfPolicy(const PolicyContext& context)
+    : cumulative_losses_(context.num_models, 0.0),
+      probabilities_(context.num_models, 0.0),
+      rng_(context.seed) {
+  assert(context.num_models > 0);
+}
+
+std::size_t TsallisInfPolicy::select(std::size_t /*t*/) {
+  const double eta = 2.0 / std::sqrt(static_cast<double>(plays_ + 1));
+  probabilities_ = tsallis_probabilities(cumulative_losses_, eta);
+  return rng_.categorical(probabilities_);
+}
+
+void TsallisInfPolicy::feedback(std::size_t /*t*/, std::size_t arm,
+                                double loss) {
+  ++plays_;
+  const double p = std::max(probabilities_[arm], 1e-12);
+  cumulative_losses_[arm] += loss / p;
+}
+
+PolicyFactory TsallisInfPolicy::factory() {
+  return [](const PolicyContext& context) {
+    return std::make_unique<TsallisInfPolicy>(context);
+  };
+}
+
+}  // namespace cea::bandit

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "bandit/policy.h"
+
+namespace cea::bandit {
+
+/// Tsallis-INF (Zimmert & Seldin 2021) without switching-cost awareness:
+/// the "TINF" baseline of Section V-A. Every time slot re-solves the
+/// online-mirror-descent step with the 1/2-Tsallis regularizer and learning
+/// rate eta_t = 2 / sqrt(t), then samples an arm; importance-weighted loss
+/// estimates accumulate per slot. Optimal in plain stochastic/adversarial
+/// bandits, but free to switch arms every slot.
+class TsallisInfPolicy final : public ModelSelectionPolicy {
+ public:
+  explicit TsallisInfPolicy(const PolicyContext& context);
+
+  std::size_t select(std::size_t t) override;
+  void feedback(std::size_t t, std::size_t arm, double loss) override;
+  std::string name() const override { return "TsallisINF"; }
+
+  static PolicyFactory factory();
+
+ private:
+  std::vector<double> cumulative_losses_;
+  std::vector<double> probabilities_;
+  Rng rng_;
+  std::size_t plays_ = 0;
+};
+
+}  // namespace cea::bandit

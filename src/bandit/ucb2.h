@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "bandit/policy.h"
+
+namespace cea::bandit {
+
+/// UCB2 (Auer, Cesa-Bianchi & Fischer 2002), the switching-cost-bounded
+/// bandit baseline of Section V-A. Arms are played in epochs of length
+/// tau(r+1) - tau(r) with tau(r) = ceil((1+alpha)^r), which bounds the
+/// number of switches to O(log T). Adapted to losses by selecting the
+/// smallest lower confidence bound; observations are scaled into [0, 1] by
+/// `loss_scale` for the confidence radius.
+class Ucb2Policy final : public ModelSelectionPolicy {
+ public:
+  Ucb2Policy(const PolicyContext& context, double alpha, double loss_scale);
+
+  std::size_t select(std::size_t t) override;
+  void feedback(std::size_t t, std::size_t arm, double loss) override;
+  std::string name() const override { return "UCB2"; }
+
+  static PolicyFactory factory(double alpha = 0.5, double loss_scale = 2.5);
+
+ private:
+  double tau(std::size_t r) const noexcept;
+
+  ArmStats stats_;
+  std::vector<std::size_t> epochs_;  // r_n: completed epochs per arm
+  double alpha_;
+  double loss_scale_;
+  std::size_t current_arm_ = 0;
+  std::size_t remaining_plays_ = 0;  // left in the current epoch
+};
+
+}  // namespace cea::bandit

@@ -1,0 +1,80 @@
+#include "core/blocked_tsallis_inf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "opt/tsallis_step.h"
+
+namespace cea::core {
+
+BlockedTsallisInfPolicy::BlockedTsallisInfPolicy(
+    const bandit::PolicyContext& context)
+    : BlockedTsallisInfPolicy(context, 1.0) {}
+
+BlockedTsallisInfPolicy::BlockedTsallisInfPolicy(
+    const bandit::PolicyContext& context, double discount)
+    : schedule_(context.switching_cost, context.num_models),
+      discount_(discount),
+      rng_(context.seed),
+      cumulative_losses_(context.num_models, 0.0),
+      probabilities_(context.num_models,
+                     1.0 / static_cast<double>(context.num_models)) {
+  assert(context.num_models > 0);
+  assert(discount > 0.0 && discount <= 1.0);
+}
+
+void BlockedTsallisInfPolicy::start_block() {
+  const std::size_t k = block_index_ + 1;  // 1-based block index
+  probabilities_ =
+      tsallis_probabilities(cumulative_losses_, schedule_.learning_rate(k));
+  current_arm_ = rng_.categorical(probabilities_);
+  slots_left_ = schedule_.block_length(k);
+  block_loss_ = 0.0;
+  block_open_ = true;
+}
+
+void BlockedTsallisInfPolicy::finish_block() {
+  // Optional non-stationarity discount: old evidence fades geometrically.
+  if (discount_ < 1.0) {
+    for (auto& c : cumulative_losses_) c *= discount_;
+  }
+  // Importance-weighted estimator: chat_{k,n} = 1{J=n} c_{k,n} / p_{k,n}.
+  const double p = std::max(probabilities_[current_arm_], 1e-12);
+  cumulative_losses_[current_arm_] += block_loss_ / p;
+  ++block_index_;
+  block_open_ = false;
+}
+
+std::size_t BlockedTsallisInfPolicy::select(std::size_t /*t*/) {
+  if (slots_left_ == 0) {
+    if (block_open_) finish_block();
+    start_block();
+  }
+  --slots_left_;
+  return current_arm_;
+}
+
+void BlockedTsallisInfPolicy::feedback(std::size_t /*t*/, std::size_t arm,
+                                       double loss) {
+  assert(arm == current_arm_);
+  (void)arm;
+  block_loss_ += loss;
+  // Truncated final block: fold the estimate in as soon as the block ends.
+  if (slots_left_ == 0 && block_open_) finish_block();
+}
+
+bandit::PolicyFactory BlockedTsallisInfPolicy::factory() {
+  return [](const bandit::PolicyContext& context) {
+    return std::make_unique<BlockedTsallisInfPolicy>(context);
+  };
+}
+
+bandit::PolicyFactory BlockedTsallisInfPolicy::discounted_factory(
+    double discount) {
+  return [discount](const bandit::PolicyContext& context) {
+    return std::make_unique<BlockedTsallisInfPolicy>(context, discount);
+  };
+}
+
+}  // namespace cea::core

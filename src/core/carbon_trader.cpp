@@ -1,0 +1,54 @@
+#include "core/carbon_trader.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace cea::core {
+
+OnlineCarbonTrader::OnlineCarbonTrader(const trading::TraderContext& context,
+                                       const OnlineTraderConfig& config)
+    : context_(context), lambda_(config.initial_lambda) {
+  const double horizon =
+      static_cast<double>(std::max<std::size_t>(context.horizon, 1));
+  const double t_third = std::pow(horizon, -1.0 / 3.0);
+  gamma1_ = config.gamma1_scale * t_third;
+  gamma2_ = config.gamma2_scale * t_third;
+  per_slot_cap_share_ = context.carbon_cap / horizon;
+  prev_decision_ = {config.initial_buy, config.initial_sell};
+}
+
+trading::TradeDecision OnlineCarbonTrader::decide(
+    std::size_t /*t*/, const trading::TradeObservation& /*obs*/) {
+  if (!has_history_) {
+    // Slot 1 has no (t-1) information; hold the initial decision Zbar^0.
+    return prev_decision_;
+  }
+  trading::TradeDecision decision;
+  decision.buy = trading::clamp_trade(
+      prev_decision_.buy + gamma2_ * (lambda_ - prev_buy_price_), context_);
+  decision.sell = trading::clamp_trade(
+      prev_decision_.sell + gamma2_ * (prev_sell_price_ - lambda_), context_);
+  return decision;
+}
+
+void OnlineCarbonTrader::feedback(std::size_t /*t*/, double emission,
+                                  const trading::TradeObservation& obs,
+                                  const trading::TradeDecision& executed) {
+  const double g = emission - per_slot_cap_share_ - executed.buy +
+                   executed.sell;
+  lambda_ = std::max(0.0, lambda_ + gamma1_ * g);
+  prev_buy_price_ = obs.buy_price;
+  prev_sell_price_ = obs.sell_price;
+  prev_decision_ = executed;
+  has_history_ = true;
+}
+
+trading::TraderFactory OnlineCarbonTrader::factory(OnlineTraderConfig config) {
+  return [config](const trading::TraderContext& context) {
+    return std::make_unique<OnlineCarbonTrader>(context, config);
+  };
+}
+
+}  // namespace cea::core

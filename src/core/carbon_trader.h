@@ -1,0 +1,66 @@
+#pragma once
+
+#include "trading/trader.h"
+
+namespace cea::core {
+
+/// Hyper-parameters of Algorithm 2. The step sizes follow the Theorem 2
+/// prescription gamma = O(T^{-1/3}); the multipliers set the constant.
+struct OnlineTraderConfig {
+  double gamma1_scale = 2.0;  ///< dual ascent step:    gamma1 = scale * T^{-1/3}
+  double gamma2_scale = 10.0; ///< primal descent step: gamma2 = scale * T^{-1/3}
+  double initial_lambda = 0.0;
+  double initial_buy = 0.0;   ///< Zbar^0
+  double initial_sell = 0.0;
+};
+
+/// Algorithm 2 of the paper: Online Carbon Trading via long-term-aware
+/// online primal-dual learning.
+///
+/// The long-term neutrality constraint sum_t g^t(Z^t) <= 0 with
+///   g^t(Z) = e^t - R/T - z + w
+/// is absorbed via Lagrange relaxation. At slot t the primal step solves
+/// the rectified proximal problem P2^t
+///   min_{Z >= 0}  grad f^{t-1}(Zbar^{t-1}) . (Z - Zbar^{t-1})
+///                 + lambda^t g^{t-1}(Z) + ||Z - Zbar^{t-1}||^2 / (2 gamma2)
+/// whose per-coordinate closed form is
+///   z^t = clamp(zbar + gamma2 (lambda^t - c^{t-1}), 0, cap)
+///   w^t = clamp(wbar + gamma2 (r^{t-1} - lambda^t), 0, cap);
+/// note that only information up to t-1 is used. The dual ascent step after
+/// observing the slot is lambda^{t+1} = [lambda^t + gamma1 g^t(Zbar^t)]^+.
+///
+/// Theorem 2: both the regret against per-slot optima and the fit
+/// ||[sum_t g^t]^+|| grow as O(T^{2/3}).
+class OnlineCarbonTrader final : public trading::TradingPolicy {
+ public:
+  OnlineCarbonTrader(const trading::TraderContext& context,
+                     const OnlineTraderConfig& config);
+
+  trading::TradeDecision decide(std::size_t t,
+                                const trading::TradeObservation& obs) override;
+  void feedback(std::size_t t, double emission,
+                const trading::TradeObservation& obs,
+                const trading::TradeDecision& executed) override;
+  std::string name() const override { return "OnlinePD"; }
+
+  static trading::TraderFactory factory(OnlineTraderConfig config = {});
+
+  /// Introspection for tests/benches.
+  double lambda() const noexcept { return lambda_; }
+  double gamma1() const noexcept { return gamma1_; }
+  double gamma2() const noexcept { return gamma2_; }
+
+ private:
+  trading::TraderContext context_;
+  double gamma1_;
+  double gamma2_;
+  double lambda_;
+  double per_slot_cap_share_;  // R / T
+  // Trailing observations (slot t-1).
+  double prev_buy_price_ = 0.0;
+  double prev_sell_price_ = 0.0;
+  trading::TradeDecision prev_decision_;
+  bool has_history_ = false;
+};
+
+}  // namespace cea::core

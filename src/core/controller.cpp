@@ -1,0 +1,46 @@
+#include "core/controller.h"
+
+#include <cassert>
+
+namespace cea::core {
+
+CarbonNeutralController::CarbonNeutralController(
+    std::vector<bandit::PolicyContext> edge_contexts,
+    const trading::TraderContext& trader_context,
+    const OnlineTraderConfig& trader_config)
+    : trader_(std::make_unique<OnlineCarbonTrader>(trader_context,
+                                                   trader_config)) {
+  edges_.reserve(edge_contexts.size());
+  for (const auto& context : edge_contexts) {
+    edges_.push_back(std::make_unique<BlockedTsallisInfPolicy>(context));
+  }
+}
+
+std::vector<std::size_t> CarbonNeutralController::select_models(
+    std::size_t t) {
+  std::vector<std::size_t> models;
+  models.reserve(edges_.size());
+  for (auto& edge : edges_) models.push_back(edge->select(t));
+  return models;
+}
+
+trading::TradeDecision CarbonNeutralController::decide_trade(
+    std::size_t t, const trading::TradeObservation& obs) {
+  return trader_->decide(t, obs);
+}
+
+void CarbonNeutralController::report_inference(std::size_t t,
+                                               std::size_t edge,
+                                               std::size_t model,
+                                               double bandit_loss) {
+  assert(edge < edges_.size());
+  edges_[edge]->feedback(t, model, bandit_loss);
+}
+
+void CarbonNeutralController::report_slot(
+    std::size_t t, double emission, const trading::TradeObservation& obs,
+    const trading::TradeDecision& executed) {
+  trader_->feedback(t, emission, obs, executed);
+}
+
+}  // namespace cea::core

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bandit/policy.h"
+#include "core/blocked_tsallis_inf.h"
+#include "core/carbon_trader.h"
+#include "trading/trader.h"
+
+namespace cea::core {
+
+/// The joint online controller of the paper (Section III): the P0 problem
+/// is decomposed into P1 (model selection and placement, one Algorithm-1
+/// bandit per edge) and P2 (carbon allowance trading, one Algorithm-2
+/// primal-dual learner). This facade wires the two together behind the
+/// per-slot workflow of Fig. 2 and is what the examples and the simulator's
+/// "Ours" configuration drive.
+///
+/// Per-slot protocol:
+///   1. select_models(t)        -> model to host on each edge (download if
+///                                 changed; the caller pays u_i).
+///   2. decide_trade(t, quote)  -> allowances to buy/sell this slot.
+///   3. report_inference(...)   -> per-edge bandit loss L^t + v (once per
+///                                 edge per slot).
+///   4. report_slot(...)        -> realized total emission e^t closes the
+///                                 slot and advances the dual variable.
+class CarbonNeutralController {
+ public:
+  CarbonNeutralController(std::vector<bandit::PolicyContext> edge_contexts,
+                          const trading::TraderContext& trader_context,
+                          const OnlineTraderConfig& trader_config = {});
+
+  /// Step 1: model choices for all edges at slot t.
+  std::vector<std::size_t> select_models(std::size_t t);
+
+  /// Step 2: trade decision for slot t.
+  trading::TradeDecision decide_trade(std::size_t t,
+                                      const trading::TradeObservation& obs);
+
+  /// Step 3: bandit feedback for one edge.
+  void report_inference(std::size_t t, std::size_t edge, std::size_t model,
+                        double bandit_loss);
+
+  /// Step 4: close the slot with the realized emission.
+  void report_slot(std::size_t t, double emission,
+                   const trading::TradeObservation& obs,
+                   const trading::TradeDecision& executed);
+
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+  const BlockedTsallisInfPolicy& edge_policy(std::size_t edge) const {
+    return *edges_[edge];
+  }
+  const OnlineCarbonTrader& trader() const noexcept { return *trader_; }
+
+ private:
+  std::vector<std::unique_ptr<BlockedTsallisInfPolicy>> edges_;
+  std::unique_ptr<OnlineCarbonTrader> trader_;
+};
+
+}  // namespace cea::core

@@ -1,0 +1,110 @@
+#include "core/mpc_trader.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "opt/simplex.h"
+
+namespace cea::core {
+namespace {
+constexpr double kEmissionSmoothing = 0.2;  // EW average factor
+constexpr std::size_t kWarmup = 30;         // predictor warmup (slots)
+}  // namespace
+
+MpcCarbonTrader::MpcCarbonTrader(const trading::TraderContext& context,
+                                 std::size_t window, double forgetting)
+    : context_(context),
+      window_(std::max<std::size_t>(window, 1)),
+      buy_predictor_(forgetting),
+      sell_predictor_(forgetting) {
+  cap_share_ = context.carbon_cap /
+               static_cast<double>(std::max<std::size_t>(context.horizon, 1));
+}
+
+trading::TradeDecision MpcCarbonTrader::decide(
+    std::size_t t, const trading::TradeObservation& /*obs*/) {
+  if (!has_history_) return {};
+  // Remaining slots bound the window.
+  const std::size_t remaining =
+      context_.horizon > t ? context_.horizon - t : 1;
+  const std::size_t window = std::min(window_, remaining);
+
+  // Roll the AR(1) models forward across the window.
+  std::vector<double> buy_forecast(window), sell_forecast(window);
+  double c = buy_predictor_.predict_next(kWarmup);
+  double r = sell_predictor_.predict_next(kWarmup);
+  for (std::size_t h = 0; h < window; ++h) {
+    buy_forecast[h] = std::max(c, 0.01);
+    sell_forecast[h] = std::max(std::min(r, buy_forecast[h]), 0.0);
+    if (buy_predictor_.observations() >= kWarmup) {
+      c = buy_predictor_.slope() * c + buy_predictor_.intercept();
+      r = sell_predictor_.slope() * r + sell_predictor_.intercept();
+    }
+  }
+
+  // LP variables: z_0..z_{H-1}, w_0..w_{H-1}.
+  LpProblem problem;
+  problem.objective.resize(2 * window);
+  for (std::size_t h = 0; h < window; ++h) {
+    problem.objective[h] = buy_forecast[h];
+    problem.objective[window + h] = -sell_forecast[h];
+  }
+  // Prorated prefix feasibility within the window.
+  for (std::size_t h = 0; h < window; ++h) {
+    LpConstraint con;
+    con.coeffs.assign(2 * window, 0.0);
+    for (std::size_t s = 0; s <= h; ++s) {
+      con.coeffs[s] = -1.0;           // -z_s
+      con.coeffs[window + s] = 1.0;   // +w_s
+    }
+    con.relation = Relation::kLessEqual;
+    con.rhs = balance_ + static_cast<double>(h + 1) *
+                             (cap_share_ - emission_estimate_);
+    problem.constraints.push_back(std::move(con));
+  }
+  // Liquidity box.
+  for (std::size_t v = 0; v < 2 * window; ++v) {
+    LpConstraint con;
+    con.coeffs.assign(2 * window, 0.0);
+    con.coeffs[v] = 1.0;
+    con.relation = Relation::kLessEqual;
+    con.rhs = context_.max_trade_per_slot;
+    problem.constraints.push_back(std::move(con));
+  }
+
+  const LpSolution solution = solve_lp(problem, 20000);
+  trading::TradeDecision decision;
+  if (solution.status == LpStatus::kOptimal) {
+    decision.buy = trading::clamp_trade(solution.x[0], context_);
+    decision.sell = trading::clamp_trade(solution.x[window], context_);
+  } else {
+    // Infeasible window (deficit beyond liquidity): buy at the cap.
+    decision.buy = context_.max_trade_per_slot;
+  }
+  return decision;
+}
+
+void MpcCarbonTrader::feedback(std::size_t /*t*/, double emission,
+                               const trading::TradeObservation& obs,
+                               const trading::TradeDecision& executed) {
+  if (!has_history_) {
+    emission_estimate_ = emission;
+  } else {
+    emission_estimate_ = kEmissionSmoothing * emission +
+                         (1.0 - kEmissionSmoothing) * emission_estimate_;
+  }
+  balance_ += cap_share_ - emission + executed.buy - executed.sell;
+  buy_predictor_.observe(obs.buy_price);
+  sell_predictor_.observe(obs.sell_price);
+  has_history_ = true;
+}
+
+trading::TraderFactory MpcCarbonTrader::factory(std::size_t window,
+                                                double forgetting) {
+  return [window, forgetting](const trading::TraderContext& context) {
+    return std::make_unique<MpcCarbonTrader>(context, window, forgetting);
+  };
+}
+
+}  // namespace cea::core

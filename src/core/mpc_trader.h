@@ -1,0 +1,54 @@
+#pragma once
+
+#include "core/price_predictor.h"
+#include "trading/trader.h"
+
+namespace cea::core {
+
+/// Receding-horizon (MPC) carbon trader: at every slot it rolls the AR(1)
+/// price model forward over a lookahead window, assumes emissions continue
+/// at their exponentially weighted average, solves the resulting small LP
+/// with the library's simplex solver, executes the first step, and
+/// re-solves next slot.
+///
+/// LP at slot t with window H (variables z_h, w_h, h = 0..H-1):
+///   min   sum_h chat_{t+h} z_h - rhat_{t+h} w_h
+///   s.t.  Btilde_t + sum_{s<=h}(z_s - w_s - ehat) + (h+1) R/T >= 0  for all h
+///         0 <= z_h, w_h <= cap,
+/// where Btilde_t is the prorated allowance balance (cap share accrued so
+/// far minus emissions plus net purchases). The prorated prefix constraint
+/// forces gradual coverage instead of end-loaded buying.
+///
+/// A planning-heavy contrast to Algorithm 2's O(1) primal-dual step: it
+/// buys lookahead optimality with an LP per slot and with sensitivity to
+/// forecast error. Compared in bench/ext_price_prediction.
+class MpcCarbonTrader final : public trading::TradingPolicy {
+ public:
+  MpcCarbonTrader(const trading::TraderContext& context, std::size_t window,
+                  double forgetting = 0.98);
+
+  trading::TradeDecision decide(std::size_t t,
+                                const trading::TradeObservation& obs) override;
+  void feedback(std::size_t t, double emission,
+                const trading::TradeObservation& obs,
+                const trading::TradeDecision& executed) override;
+  std::string name() const override { return "MPC"; }
+
+  static trading::TraderFactory factory(std::size_t window = 12,
+                                        double forgetting = 0.98);
+
+  double prorated_balance() const noexcept { return balance_; }
+  double emission_estimate() const noexcept { return emission_estimate_; }
+
+ private:
+  trading::TraderContext context_;
+  std::size_t window_;
+  double cap_share_;
+  Ar1PricePredictor buy_predictor_;
+  Ar1PricePredictor sell_predictor_;
+  double balance_ = 0.0;            // prorated: accrued cap share - e + z - w
+  double emission_estimate_ = 0.0;  // EW average of observed emissions
+  bool has_history_ = false;
+};
+
+}  // namespace cea::core

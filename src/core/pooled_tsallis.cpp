@@ -1,0 +1,83 @@
+#include "core/pooled_tsallis.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "opt/tsallis_step.h"
+
+namespace cea::core {
+
+PooledTsallisCoordinator::PooledTsallisCoordinator(std::size_t num_models)
+    : cumulative_losses_(num_models, 0.0) {
+  assert(num_models > 0);
+}
+
+void PooledTsallisCoordinator::report_block(std::size_t arm,
+                                            double block_loss,
+                                            double arm_probability) {
+  assert(arm < cumulative_losses_.size());
+  cumulative_losses_[arm] +=
+      block_loss / std::max(arm_probability, 1e-12);
+  ++blocks_;
+}
+
+PooledTsallisPolicy::PooledTsallisPolicy(
+    const bandit::PolicyContext& context,
+    std::shared_ptr<PooledTsallisCoordinator> coordinator)
+    : coordinator_(std::move(coordinator)),
+      schedule_(context.switching_cost, context.num_models),
+      rng_(context.seed),
+      probabilities_(context.num_models,
+                     1.0 / static_cast<double>(context.num_models)) {
+  assert(coordinator_ != nullptr);
+  assert(coordinator_->num_models() == context.num_models);
+}
+
+void PooledTsallisPolicy::start_block() {
+  const std::size_t k = block_index_ + 1;
+  probabilities_ = tsallis_probabilities(coordinator_->cumulative_losses(),
+                                         schedule_.learning_rate(k));
+  current_arm_ = rng_.categorical(probabilities_);
+  slots_left_ = schedule_.block_length(k);
+  block_loss_ = 0.0;
+  block_open_ = true;
+}
+
+void PooledTsallisPolicy::finish_block() {
+  coordinator_->report_block(current_arm_, block_loss_,
+                             probabilities_[current_arm_]);
+  ++block_index_;
+  block_open_ = false;
+}
+
+std::size_t PooledTsallisPolicy::select(std::size_t /*t*/) {
+  if (slots_left_ == 0) {
+    if (block_open_) finish_block();
+    start_block();
+  }
+  --slots_left_;
+  return current_arm_;
+}
+
+void PooledTsallisPolicy::feedback(std::size_t /*t*/, std::size_t arm,
+                                   double loss) {
+  assert(arm == current_arm_);
+  (void)arm;
+  block_loss_ += loss;
+  if (slots_left_ == 0 && block_open_) finish_block();
+}
+
+bandit::PolicyFactory pooled_tsallis_factory() {
+  // One coordinator per simulation run: a fresh one is spun up whenever
+  // the factory builds the policy for edge 0.
+  auto current = std::make_shared<std::shared_ptr<PooledTsallisCoordinator>>();
+  return [current](const bandit::PolicyContext& context) {
+    if (context.edge == 0 || !*current) {
+      *current =
+          std::make_shared<PooledTsallisCoordinator>(context.num_models);
+    }
+    return std::make_unique<PooledTsallisPolicy>(context, *current);
+  };
+}
+
+}  // namespace cea::core

@@ -1,0 +1,63 @@
+#include "core/predictive_trader.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace cea::core {
+namespace {
+/// Fall back to the last observed price until the AR(1) fit has this many
+/// observations; early fits are noisy enough to cost money.
+constexpr std::size_t kWarmup = 30;
+}  // namespace
+
+PredictiveCarbonTrader::PredictiveCarbonTrader(
+    const trading::TraderContext& context, const OnlineTraderConfig& config,
+    double forgetting)
+    : context_(context),
+      lambda_(config.initial_lambda),
+      buy_predictor_(forgetting),
+      sell_predictor_(forgetting) {
+  const double horizon =
+      static_cast<double>(std::max<std::size_t>(context.horizon, 1));
+  const double t_third = std::pow(horizon, -1.0 / 3.0);
+  gamma1_ = config.gamma1_scale * t_third;
+  gamma2_ = config.gamma2_scale * t_third;
+  per_slot_cap_share_ = context.carbon_cap / horizon;
+  prev_decision_ = {config.initial_buy, config.initial_sell};
+}
+
+trading::TradeDecision PredictiveCarbonTrader::decide(
+    std::size_t /*t*/, const trading::TradeObservation& /*obs*/) {
+  if (!has_history_) return prev_decision_;
+  const double buy_forecast = buy_predictor_.predict_next(kWarmup);
+  const double sell_forecast = sell_predictor_.predict_next(kWarmup);
+  trading::TradeDecision decision;
+  decision.buy = trading::clamp_trade(
+      prev_decision_.buy + gamma2_ * (lambda_ - buy_forecast), context_);
+  decision.sell = trading::clamp_trade(
+      prev_decision_.sell + gamma2_ * (sell_forecast - lambda_), context_);
+  return decision;
+}
+
+void PredictiveCarbonTrader::feedback(std::size_t /*t*/, double emission,
+                                      const trading::TradeObservation& obs,
+                                      const trading::TradeDecision& executed) {
+  const double g =
+      emission - per_slot_cap_share_ - executed.buy + executed.sell;
+  lambda_ = std::max(0.0, lambda_ + gamma1_ * g);
+  buy_predictor_.observe(obs.buy_price);
+  sell_predictor_.observe(obs.sell_price);
+  prev_decision_ = executed;
+  has_history_ = true;
+}
+
+trading::TraderFactory PredictiveCarbonTrader::factory(
+    OnlineTraderConfig config, double forgetting) {
+  return [config, forgetting](const trading::TraderContext& context) {
+    return std::make_unique<PredictiveCarbonTrader>(context, config,
+                                                    forgetting);
+  };
+}
+
+}  // namespace cea::core

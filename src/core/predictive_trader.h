@@ -1,0 +1,51 @@
+#pragma once
+
+#include "core/carbon_trader.h"
+#include "core/price_predictor.h"
+#include "trading/trader.h"
+
+namespace cea::core {
+
+/// Algorithm 2 extended with one-step price prediction — the paper's first
+/// future-work direction implemented.
+///
+/// The primal step of OnlineCarbonTrader linearizes f at the *previous*
+/// slot's prices (the only information the base algorithm allows itself).
+/// This variant replaces c^{t-1}, r^{t-1} with AR(1) forecasts chat^t,
+/// rhat^t fitted online; everything else (proximal step, dual ascent,
+/// liquidity clamps) is unchanged, so the comparison against the base
+/// algorithm isolates the value of prediction (bench/ext_price_prediction).
+class PredictiveCarbonTrader final : public trading::TradingPolicy {
+ public:
+  PredictiveCarbonTrader(const trading::TraderContext& context,
+                         const OnlineTraderConfig& config,
+                         double forgetting = 0.98);
+
+  trading::TradeDecision decide(std::size_t t,
+                                const trading::TradeObservation& obs) override;
+  void feedback(std::size_t t, double emission,
+                const trading::TradeObservation& obs,
+                const trading::TradeDecision& executed) override;
+  std::string name() const override { return "PredictivePD"; }
+
+  static trading::TraderFactory factory(OnlineTraderConfig config = {},
+                                        double forgetting = 0.98);
+
+  double lambda() const noexcept { return lambda_; }
+  const Ar1PricePredictor& buy_predictor() const noexcept {
+    return buy_predictor_;
+  }
+
+ private:
+  trading::TraderContext context_;
+  double gamma1_;
+  double gamma2_;
+  double lambda_;
+  double per_slot_cap_share_;
+  Ar1PricePredictor buy_predictor_;
+  Ar1PricePredictor sell_predictor_;
+  trading::TradeDecision prev_decision_;
+  bool has_history_ = false;
+};
+
+}  // namespace cea::core

@@ -1,0 +1,38 @@
+#include "core/price_predictor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cea::core {
+
+Ar1PricePredictor::Ar1PricePredictor(double forgetting)
+    : forgetting_(forgetting) {
+  assert(forgetting > 0.0 && forgetting <= 1.0);
+}
+
+void Ar1PricePredictor::observe(double price) {
+  if (count_ > 0) {
+    const double x = last_price_;
+    const double y = price;
+    sxx_ = forgetting_ * sxx_ + x * x;
+    sx_ = forgetting_ * sx_ + x;
+    sxy_ = forgetting_ * sxy_ + x * y;
+    sy_ = forgetting_ * sy_ + y;
+    sw_ = forgetting_ * sw_ + 1.0;
+    const double det = sw_ * sxx_ - sx_ * sx_;
+    if (std::abs(det) > 1e-12) {
+      a_ = (sw_ * sxy_ - sx_ * sy_) / det;
+      b_ = (sy_ - a_ * sx_) / sw_;
+    }
+  }
+  last_price_ = price;
+  ++count_;
+}
+
+double Ar1PricePredictor::predict_next(std::size_t warmup) const {
+  if (count_ < std::max<std::size_t>(warmup, 2)) return last_price_;
+  return a_ * last_price_ + b_;
+}
+
+}  // namespace cea::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+
+namespace cea::core {
+
+/// Online AR(1) price model  p_{t+1} = a p_t + b + noise, fitted by
+/// exponentially weighted recursive least squares.
+///
+/// The paper's Section VII names price prediction as the first future-work
+/// direction ("integrating price prediction models could further optimize
+/// trading strategies"); this predictor powers PredictiveCarbonTrader.
+class Ar1PricePredictor {
+ public:
+  /// `forgetting` in (0, 1]: 1 = ordinary least squares over all history;
+  /// smaller values track drifting dynamics.
+  explicit Ar1PricePredictor(double forgetting = 0.99);
+
+  /// Record the price observed at the current slot.
+  void observe(double price);
+
+  /// One-step-ahead forecast. Before `warmup` observations, returns the
+  /// last observed price (or 0 if none) — early regression fits are noisy
+  /// enough to hurt.
+  double predict_next(std::size_t warmup = 2) const;
+
+  /// Fitted coefficients (a, b).
+  double slope() const noexcept { return a_; }
+  double intercept() const noexcept { return b_; }
+  std::size_t observations() const noexcept { return count_; }
+
+ private:
+  double forgetting_;
+  // Sufficient statistics of weighted least squares on (x=prev, y=next).
+  double sxx_ = 0.0, sx_ = 0.0, sxy_ = 0.0, sy_ = 0.0, sw_ = 0.0;
+  double a_ = 1.0, b_ = 0.0;
+  double last_price_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cea::core

@@ -1,0 +1,70 @@
+#include "core/regret.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cea::core {
+
+double fit(std::span<const double> emissions, std::span<const double> buys,
+           std::span<const double> sells, double carbon_cap) noexcept {
+  assert(emissions.size() == buys.size() && buys.size() == sells.size());
+  double violation = -carbon_cap;
+  for (std::size_t t = 0; t < emissions.size(); ++t) {
+    violation += emissions[t] - buys[t] + sells[t];
+  }
+  return std::max(0.0, violation);
+}
+
+std::vector<double> fit_series(std::span<const double> emissions,
+                               std::span<const double> buys,
+                               std::span<const double> sells,
+                               double carbon_cap) {
+  assert(emissions.size() == buys.size() && buys.size() == sells.size());
+  const double horizon = static_cast<double>(emissions.size());
+  std::vector<double> series(emissions.size(), 0.0);
+  double cumulative = 0.0;
+  for (std::size_t t = 0; t < emissions.size(); ++t) {
+    cumulative += emissions[t] - buys[t] + sells[t] - carbon_cap / horizon;
+    series[t] = std::max(0.0, cumulative);
+  }
+  return series;
+}
+
+double one_shot_trading_optimum(double emission, double cap_share,
+                                double buy_price, double sell_price,
+                                double max_trade) noexcept {
+  const double gap = emission - cap_share;
+  if (gap > 0.0) {
+    // Must buy the uncovered emission; infeasible beyond the cap, in which
+    // case the best feasible point buys at the cap.
+    const double buy = std::min(gap, max_trade);
+    return buy * buy_price;
+  }
+  // Surplus: selling it earns revenue (bounded by the liquidity cap).
+  const double sell = std::min(-gap, max_trade);
+  return -sell * sell_price;
+}
+
+std::vector<double> trading_regret_series(
+    std::span<const double> emissions, std::span<const double> buys,
+    std::span<const double> sells, std::span<const double> buy_prices,
+    std::span<const double> sell_prices, double carbon_cap,
+    double max_trade) {
+  assert(emissions.size() == buys.size() && buys.size() == sells.size());
+  assert(emissions.size() == buy_prices.size() &&
+         buy_prices.size() == sell_prices.size());
+  const double horizon = static_cast<double>(emissions.size());
+  const double cap_share = carbon_cap / horizon;
+  std::vector<double> series(emissions.size(), 0.0);
+  double cumulative = 0.0;
+  for (std::size_t t = 0; t < emissions.size(); ++t) {
+    const double actual = buys[t] * buy_prices[t] - sells[t] * sell_prices[t];
+    const double optimal = one_shot_trading_optimum(
+        emissions[t], cap_share, buy_prices[t], sell_prices[t], max_trade);
+    cumulative += actual - optimal;
+    series[t] = cumulative;
+  }
+  return series;
+}
+
+}  // namespace cea::core

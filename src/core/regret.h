@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cea::core {
+
+/// Fit of Theorem 2 / Fig. 11: || [ sum_t g^t(Z^t) ]^+ || with
+/// g^t = e^t - R/T - z^t + w^t, i.e. the positive part of the cumulative
+/// carbon-neutrality violation.
+double fit(std::span<const double> emissions, std::span<const double> buys,
+           std::span<const double> sells, double carbon_cap) noexcept;
+
+/// Per-prefix fit series: entry d is the fit of the first d+1 slots when the
+/// cap is prorated (d+1)/T * R — the quantity Fig. 11 tracks over time.
+std::vector<double> fit_series(std::span<const double> emissions,
+                               std::span<const double> buys,
+                               std::span<const double> sells,
+                               double carbon_cap);
+
+/// Regret of P2 against the sequence of one-shot optima Zbar^{t*} (Theorem
+/// 2): the per-slot optimum minimizes z c^t - w r^t subject to
+/// g^t(Z) <= 0 and the liquidity box. That one-shot problem solves in closed
+/// form: buy exactly the uncovered emission (cheapest feasible point), sell
+/// surplus allowance share at r^t when emission falls below R/T.
+double one_shot_trading_optimum(double emission, double cap_share,
+                                double buy_price, double sell_price,
+                                double max_trade) noexcept;
+
+/// Cumulative P2 regret series: entry t is
+/// sum_{s<=t} f^s(Z^s) - sum_{s<=t} f^s(Z^{s*}).
+std::vector<double> trading_regret_series(
+    std::span<const double> emissions, std::span<const double> buys,
+    std::span<const double> sells, std::span<const double> buy_prices,
+    std::span<const double> sell_prices, double carbon_cap,
+    double max_trade);
+
+}  // namespace cea::core

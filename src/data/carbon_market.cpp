@@ -1,0 +1,27 @@
+#include "data/carbon_market.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cea::data {
+
+PriceSeries generate_prices(std::size_t num_slots, const MarketConfig& config,
+                            Rng& rng) {
+  assert(config.min_price < config.max_price);
+  assert(config.sell_ratio > 0.0 && config.sell_ratio <= 1.0);
+  PriceSeries series;
+  series.buy.resize(num_slots);
+  series.sell.resize(num_slots);
+  const double mid = 0.5 * (config.min_price + config.max_price);
+  double price = rng.uniform(config.min_price, config.max_price);
+  for (std::size_t t = 0; t < num_slots; ++t) {
+    price += config.reversion * (mid - price) +
+             rng.normal(0.0, config.volatility);
+    price = std::clamp(price, config.min_price, config.max_price);
+    series.buy[t] = price;
+    series.sell[t] = config.sell_ratio * price;
+  }
+  return series;
+}
+
+}  // namespace cea::data

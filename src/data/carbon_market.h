@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cea::data {
+
+/// Parameters of the synthetic carbon-allowance price process.
+///
+/// The paper samples buying prices from EU Carbon Permit quotes between
+/// March 2023 and March 2024, which range over [5.9, 10.9] cent/kg, and sets
+/// the selling price to 90% of the buying price. This generator is the
+/// documented substitution: a mean-reverting bounded random walk whose
+/// marginal stays inside the same band, with the same 90% sell ratio.
+struct MarketConfig {
+  double min_price = 5.9;    ///< cent per kg
+  double max_price = 10.9;   ///< cent per kg
+  double sell_ratio = 0.9;   ///< r^t = sell_ratio * c^t
+  double reversion = 0.08;   ///< pull toward the band midpoint per slot
+  double volatility = 0.35;  ///< per-slot Gaussian shock (cent/kg)
+};
+
+/// Buying price c^t and selling price r^t per time slot.
+struct PriceSeries {
+  std::vector<double> buy;
+  std::vector<double> sell;
+
+  std::size_t size() const noexcept { return buy.size(); }
+};
+
+/// Generate a T-slot price series.
+PriceSeries generate_prices(std::size_t num_slots, const MarketConfig& config,
+                            Rng& rng);
+
+}  // namespace cea::data

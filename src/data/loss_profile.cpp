@@ -1,0 +1,86 @@
+#include "data/loss_profile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/train.h"
+#include "util/stats.h"
+
+namespace cea::data {
+
+LossProfile::LossProfile(std::string model_name, std::vector<double> losses,
+                         std::vector<std::uint8_t> correct, double size_mb)
+    : model_name_(std::move(model_name)),
+      losses_(std::move(losses)),
+      correct_(std::move(correct)),
+      size_mb_(size_mb) {
+  assert(!losses_.empty() && losses_.size() == correct_.size());
+  RunningStats stats;
+  double correct_count = 0.0;
+  for (std::size_t i = 0; i < losses_.size(); ++i) {
+    stats.add(losses_[i]);
+    correct_count += correct_[i] ? 1.0 : 0.0;
+  }
+  mean_loss_ = stats.mean();
+  loss_stddev_ = stats.stddev();
+  accuracy_ = correct_count / static_cast<double>(losses_.size());
+}
+
+LossDraw LossProfile::draw(Rng& rng) const {
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(losses_.size()) - 1));
+  return {losses_[idx], correct_[idx] != 0};
+}
+
+LossProfile profile_model(nn::Sequential& model, const Dataset& profiling_set,
+                          std::size_t batch_size, double size_mb_override) {
+  const std::size_t num = profiling_set.size();
+  assert(num > 0);
+  std::vector<double> losses;
+  losses.reserve(num);
+  std::vector<std::uint8_t> correct;
+  correct.reserve(num);
+
+  std::vector<std::size_t> indices;
+  for (std::size_t start = 0; start < num; start += batch_size) {
+    const std::size_t count = std::min(batch_size, num - start);
+    indices.resize(count);
+    for (std::size_t i = 0; i < count; ++i) indices[i] = start + i;
+    const nn::Tensor batch = nn::gather_rows(profiling_set.samples, indices);
+    const auto labels =
+        nn::gather_labels(profiling_set.labels, indices);
+    const nn::Tensor logits = model.forward(batch);
+    const nn::Tensor probs = nn::softmax(logits);
+    const auto batch_losses = nn::squared_losses(probs, labels);
+    for (std::size_t i = 0; i < count; ++i) {
+      losses.push_back(batch_losses[i]);
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < logits.dim(1); ++c)
+        if (logits.at(i, c) > logits.at(i, best)) best = c;
+      correct.push_back(best == labels[i] ? 1 : 0);
+    }
+  }
+  return LossProfile(model.name(), std::move(losses), std::move(correct),
+                     size_mb_override >= 0.0 ? size_mb_override
+                                             : model.size_mb());
+}
+
+LossProfile make_parametric_profile(std::string name, double mean_loss,
+                                    double stddev, double accuracy,
+                                    double size_mb, std::size_t table_size,
+                                    Rng& rng) {
+  assert(table_size > 0);
+  std::vector<double> losses(table_size);
+  std::vector<std::uint8_t> correct(table_size);
+  for (std::size_t i = 0; i < table_size; ++i) {
+    // Squared loss against a one-hot label lies in [0, 2].
+    losses[i] = std::clamp(rng.normal(mean_loss, stddev), 0.0, 2.0);
+    correct[i] = rng.bernoulli(accuracy) ? 1 : 0;
+  }
+  return LossProfile(std::move(name), std::move(losses), std::move(correct),
+                     size_mb);
+}
+
+}  // namespace cea::data

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/synthetic_dataset.h"
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace cea::data {
+
+/// One draw from a model's empirical loss distribution.
+struct LossDraw {
+  double loss = 0.0;   ///< squared loss l_n for one data sample
+  bool correct = false;
+};
+
+/// Empirical per-sample loss distribution of one trained model.
+///
+/// The simulator does not rerun forward passes for every streamed sample
+/// (160 slots x 50 edges x ~50 samples x 6 conv nets); instead each model is
+/// profiled once on a held-out set and the simulator draws from the recorded
+/// per-sample losses. Because the stream and the profiling set are IID from
+/// the same distribution, a uniform draw from the table *is* a draw of l_n.
+class LossProfile {
+ public:
+  LossProfile() = default;
+  LossProfile(std::string model_name, std::vector<double> losses,
+              std::vector<std::uint8_t> correct, double size_mb);
+
+  /// Draw one sample's loss/correctness uniformly from the table.
+  LossDraw draw(Rng& rng) const;
+
+  const std::string& model_name() const noexcept { return model_name_; }
+  double mean_loss() const noexcept { return mean_loss_; }
+  double loss_stddev() const noexcept { return loss_stddev_; }
+  double accuracy() const noexcept { return accuracy_; }
+  double size_mb() const noexcept { return size_mb_; }
+  std::size_t table_size() const noexcept { return losses_.size(); }
+
+ private:
+  std::string model_name_;
+  std::vector<double> losses_;
+  std::vector<std::uint8_t> correct_;
+  double mean_loss_ = 0.0;
+  double loss_stddev_ = 0.0;
+  double accuracy_ = 0.0;
+  double size_mb_ = 0.0;
+};
+
+/// Run the model over the profiling set and build its LossProfile.
+/// `size_mb_override` replaces the model's float32 size when >= 0 — used by
+/// the quantization extension, where the deployed artifact is bits/32 of
+/// the float checkpoint.
+LossProfile profile_model(nn::Sequential& model, const Dataset& profiling_set,
+                          std::size_t batch_size = 64,
+                          double size_mb_override = -1.0);
+
+/// A synthetic loss profile from a parametric distribution (beta-like via
+/// clamped normal). Useful for fast tests and algorithm-only benchmarks that
+/// do not want to train networks.
+LossProfile make_parametric_profile(std::string name, double mean_loss,
+                                    double stddev, double accuracy,
+                                    double size_mb, std::size_t table_size,
+                                    Rng& rng);
+
+}  // namespace cea::data

@@ -1,0 +1,111 @@
+#include "data/synthetic_dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cea::data {
+namespace {
+
+/// Render `blobs` Gaussian bumps with class-specific positions/scales into
+/// one prototype channel. Deterministic given the prototype RNG stream.
+void render_channel(nn::Tensor& prototypes, std::size_t cls, std::size_t ch,
+                    std::size_t blobs, Rng& rng) {
+  const std::size_t h = prototypes.dim(2), w = prototypes.dim(3);
+  for (std::size_t blob = 0; blob < blobs; ++blob) {
+    const double cy = rng.uniform(0.15, 0.85) * static_cast<double>(h);
+    const double cx = rng.uniform(0.15, 0.85) * static_cast<double>(w);
+    const double sigma = rng.uniform(0.08, 0.22) * static_cast<double>(h);
+    const double amp = rng.uniform(0.6, 1.4) * (rng.bernoulli(0.8) ? 1.0 : -1.0);
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const double dy = (static_cast<double>(y) - cy) / sigma;
+        const double dx = (static_cast<double>(x) - cx) / sigma;
+        prototypes.at(cls, ch, y, x) +=
+            static_cast<float>(amp * std::exp(-0.5 * (dy * dy + dx * dx)));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticSpec mnist_like_spec() {
+  SyntheticSpec spec;
+  spec.input = nn::mnist_spec();
+  spec.noise = 0.45;
+  spec.confusion = 0.5;
+  spec.distribution_seed = 7;
+  return spec;
+}
+
+SyntheticSpec cifar_like_spec() {
+  SyntheticSpec spec;
+  spec.input = nn::cifar_spec();
+  spec.blobs_per_class = 4;
+  spec.noise = 0.55;
+  spec.confusion = 0.65;  // CIFAR-10 is harder than MNIST; mirror that
+  spec.distribution_seed = 13;
+  return spec;
+}
+
+SyntheticDistribution::SyntheticDistribution(const SyntheticSpec& spec)
+    : spec_(spec),
+      prototypes_({spec.input.classes, spec.input.channels, spec.input.height,
+                   spec.input.width}) {
+  Rng proto_rng(spec.distribution_seed);
+  for (std::size_t cls = 0; cls < spec.input.classes; ++cls) {
+    for (std::size_t ch = 0; ch < spec.input.channels; ++ch) {
+      render_channel(prototypes_, cls, ch, spec.blobs_per_class, proto_rng);
+    }
+  }
+}
+
+void SyntheticDistribution::sample_into(nn::Tensor& out, std::size_t row,
+                                        std::size_t& label, Rng& rng) const {
+  const auto& in = spec_.input;
+  const std::size_t cls =
+      static_cast<std::size_t>(rng.uniform_int(0, in.classes - 1));
+  std::size_t other =
+      static_cast<std::size_t>(rng.uniform_int(0, in.classes - 2));
+  if (other >= cls) ++other;
+  const double mix = rng.uniform(0.0, spec_.confusion);
+  const int shift_y = static_cast<int>(
+      rng.uniform_int(-spec_.max_shift, spec_.max_shift));
+  const int shift_x = static_cast<int>(
+      rng.uniform_int(-spec_.max_shift, spec_.max_shift));
+
+  for (std::size_t ch = 0; ch < in.channels; ++ch) {
+    for (std::size_t y = 0; y < in.height; ++y) {
+      for (std::size_t x = 0; x < in.width; ++x) {
+        const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y) + shift_y;
+        const std::ptrdiff_t sx = static_cast<std::ptrdiff_t>(x) + shift_x;
+        float value = 0.0f;
+        if (sy >= 0 && sy < static_cast<std::ptrdiff_t>(in.height) &&
+            sx >= 0 && sx < static_cast<std::ptrdiff_t>(in.width)) {
+          const auto uy = static_cast<std::size_t>(sy);
+          const auto ux = static_cast<std::size_t>(sx);
+          value = prototypes_.at(cls, ch, uy, ux) +
+                  static_cast<float>(mix) * prototypes_.at(other, ch, uy, ux);
+        }
+        value += static_cast<float>(rng.normal(0.0, spec_.noise));
+        out.at(row, ch, y, x) = value;
+      }
+    }
+  }
+  label = cls;
+}
+
+Dataset SyntheticDistribution::sample(std::size_t count, Rng& rng) const {
+  const auto& in = spec_.input;
+  Dataset dataset;
+  dataset.samples =
+      nn::Tensor({count, in.channels, in.height, in.width});
+  dataset.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sample_into(dataset.samples, i, dataset.labels[i], rng);
+  }
+  return dataset;
+}
+
+}  // namespace cea::data

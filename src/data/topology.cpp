@@ -1,0 +1,37 @@
+#include "data/topology.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace cea::data {
+
+double distance_km(const Site& a, const Site& b) noexcept {
+  const double dx = a.x_km - b.x_km;
+  const double dy = a.y_km - b.y_km;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Topology generate_topology(std::size_t num_edges, const TopologyConfig& config,
+                           Rng& rng) {
+  Topology topo;
+  topo.cloud = {config.cloud_offset_km, 0.0};
+  topo.edges.reserve(num_edges);
+  topo.distance_km.reserve(num_edges);
+  topo.download_delay.reserve(num_edges);
+  topo.transfer_energy_kwh_per_mb.reserve(num_edges);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    // Uniform in a disc of the configured radius around the origin.
+    const double radius = config.region_radius_km * std::sqrt(rng.uniform());
+    const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const Site site{radius * std::cos(angle), radius * std::sin(angle)};
+    topo.edges.push_back(site);
+    const double dist = distance_km(site, topo.cloud);
+    topo.distance_km.push_back(dist);
+    topo.download_delay.push_back(config.delay_base +
+                                  config.delay_per_1000km * dist / 1000.0);
+    topo.transfer_energy_kwh_per_mb.push_back(config.energy_kwh_per_mb);
+  }
+  return topo;
+}
+
+}  // namespace cea::data

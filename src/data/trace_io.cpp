@@ -1,0 +1,135 @@
+#include "data/trace_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cea::data {
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    // Trim surrounding whitespace.
+    const auto begin = cell.find_first_not_of(" \t\r");
+    const auto end = cell.find_last_not_of(" \t\r");
+    cells.push_back(begin == std::string::npos
+                        ? std::string()
+                        : cell.substr(begin, end - begin + 1));
+  }
+  return cells;
+}
+
+bool parse_double(const std::string& cell, double& out) {
+  if (cell.empty()) return false;
+  char* endptr = nullptr;
+  out = std::strtod(cell.c_str(), &endptr);
+  return endptr == cell.c_str() + cell.size();
+}
+
+}  // namespace
+
+WorkloadTraces load_workload_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_workload_csv: cannot open " + path);
+  WorkloadTraces traces;
+  std::string line;
+  std::size_t expected_columns = 0;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const auto cells = split_csv_line(line);
+    std::vector<int> trace;
+    trace.reserve(cells.size());
+    for (const auto& cell : cells) {
+      double value = 0.0;
+      if (!parse_double(cell, value) || value <= 0.0) {
+        throw std::runtime_error("load_workload_csv: bad count '" + cell +
+                                 "' at line " + std::to_string(line_number));
+      }
+      trace.push_back(static_cast<int>(value));
+    }
+    if (expected_columns == 0) {
+      expected_columns = trace.size();
+    } else if (trace.size() != expected_columns) {
+      throw std::runtime_error(
+          "load_workload_csv: ragged row at line " +
+          std::to_string(line_number) + " (" + std::to_string(trace.size()) +
+          " columns, expected " + std::to_string(expected_columns) + ")");
+    }
+    traces.push_back(std::move(trace));
+  }
+  if (traces.empty())
+    throw std::runtime_error("load_workload_csv: no rows in " + path);
+  return traces;
+}
+
+PriceSeries load_prices_csv(const std::string& path, double sell_ratio) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_prices_csv: cannot open " + path);
+  PriceSeries series;
+  std::string line;
+  std::size_t line_number = 0;
+  bool first_data_line = true;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const auto cells = split_csv_line(line);
+    double buy = 0.0;
+    if (!parse_double(cells[0], buy)) {
+      if (first_data_line) {
+        first_data_line = false;  // header row
+        continue;
+      }
+      throw std::runtime_error("load_prices_csv: bad price '" + cells[0] +
+                               "' at line " + std::to_string(line_number));
+    }
+    first_data_line = false;
+    if (buy <= 0.0) {
+      throw std::runtime_error("load_prices_csv: non-positive price at line " +
+                               std::to_string(line_number));
+    }
+    double sell = buy * sell_ratio;
+    if (cells.size() >= 2 && !cells[1].empty()) {
+      if (!parse_double(cells[1], sell) || sell <= 0.0 || sell > buy) {
+        throw std::runtime_error(
+            "load_prices_csv: bad sell price at line " +
+            std::to_string(line_number) +
+            " (must be positive and <= buy price)");
+      }
+    }
+    series.buy.push_back(buy);
+    series.sell.push_back(sell);
+  }
+  if (series.buy.empty())
+    throw std::runtime_error("load_prices_csv: no rows in " + path);
+  return series;
+}
+
+void save_workload_csv(const WorkloadTraces& traces, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_workload_csv: cannot open " + path);
+  for (const auto& trace : traces) {
+    for (std::size_t t = 0; t < trace.size(); ++t) {
+      if (t > 0) out << ',';
+      out << trace[t];
+    }
+    out << '\n';
+  }
+}
+
+void save_prices_csv(const PriceSeries& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_prices_csv: cannot open " + path);
+  out << "buy,sell\n";
+  out.precision(10);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    out << series.buy[t] << ',' << series.sell[t] << '\n';
+  }
+}
+
+}  // namespace cea::data

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/carbon_market.h"
+#include "data/workload.h"
+
+namespace cea::data {
+
+/// CSV loaders so real traces can replace the synthetic generators (the
+/// paper uses TfL London Underground passenger counts and EU Carbon Permit
+/// quotes; when you have those files, load them here and feed the result
+/// into the simulator via Environment).
+///
+/// Workload CSV format: one row per edge, one integer column per time slot:
+///   12034,11876,...
+/// Rows may have trailing whitespace; blank lines are skipped. All rows
+/// must have the same number of columns and positive values.
+WorkloadTraces load_workload_csv(const std::string& path);
+
+/// Price CSV format: one row per time slot, either "buy" or "buy,sell"
+/// (a single column applies `sell_ratio` to derive the selling price).
+/// A header row is detected (first cell non-numeric) and skipped.
+PriceSeries load_prices_csv(const std::string& path,
+                            double sell_ratio = 0.9);
+
+/// Write traces back out in the accepted formats (round-trip helpers for
+/// exporting generated scenarios).
+void save_workload_csv(const WorkloadTraces& traces, const std::string& path);
+void save_prices_csv(const PriceSeries& series, const std::string& path);
+
+}  // namespace cea::data

@@ -1,0 +1,59 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace cea::data {
+
+double diurnal_shape(double u) noexcept {
+  // Two Gaussian rush-hour bumps (around 35% and 73% of the covered span,
+  // i.e. ~8:30 and ~17:30 for a 05:00-25:00 service day) over a low base.
+  const auto bump = [](double x, double center, double width) {
+    const double d = (x - center) / width;
+    return std::exp(-0.5 * d * d);
+  };
+  const double value =
+      0.22 + bump(u, 0.35, 0.07) + 0.85 * bump(u, 0.73, 0.09);
+  return value / 1.35;  // normalize roughly into [0, 1]
+}
+
+WorkloadTraces generate_workload(std::size_t num_edges,
+                                 const WorkloadConfig& config, Rng& rng) {
+  assert(config.slots_per_day > 0);
+  WorkloadTraces traces(num_edges);
+
+  // Heavy-tailed station scales, sorted descending: edge 0 is the busiest
+  // station, mirroring the paper's "top-K by passenger count" selection.
+  std::vector<double> scales(num_edges);
+  for (auto& s : scales) {
+    const double u = std::max(rng.uniform(), 1e-9);
+    s = std::pow(u, -1.0 / config.station_scale_alpha);  // Pareto(alpha)
+  }
+  std::sort(scales.begin(), scales.end(), std::greater<>());
+  // Normalize so the average scale is 1 (keeps mean_samples meaningful).
+  double total = 0.0;
+  for (double s : scales) total += s;
+  const double norm =
+      total > 0.0 ? static_cast<double>(num_edges) / total : 1.0;
+
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    auto& trace = traces[e];
+    trace.resize(config.num_slots);
+    for (std::size_t t = 0; t < config.num_slots; ++t) {
+      const double u = static_cast<double>(t % config.slots_per_day) /
+                       static_cast<double>(config.slots_per_day);
+      const double shape =
+          1.0 + (config.peak_factor - 1.0) * diurnal_shape(u);
+      const double noise = std::exp(rng.normal(0.0, config.noise));
+      const double mean =
+          config.mean_samples * scales[e] * norm * shape * noise /
+          (1.0 + (config.peak_factor - 1.0) * 0.45);  // recenter on the mean
+      trace[t] = static_cast<int>(std::max<std::int64_t>(1, rng.poisson(mean)));
+    }
+  }
+  return traces;
+}
+
+}  // namespace cea::data

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cea::data {
+
+/// Parameters of the synthetic inference-workload traces.
+///
+/// The paper drives each edge with 15-minute passenger counts of London's
+/// busiest Underground stations over a Thursday and a Friday (160 slots).
+/// This generator is the documented substitution: a weekday double-peak
+/// diurnal profile (morning/evening rush), a heavy-tailed per-station scale
+/// mirroring "top-K busiest stations", and multiplicative noise.
+struct WorkloadConfig {
+  std::size_t num_slots = 160;       ///< total horizon (two days in the paper)
+  std::size_t slots_per_day = 80;    ///< 15-min slots in the covered day span
+  double mean_samples = 50.0;        ///< average M_i^t per edge per slot
+  double peak_factor = 2.2;          ///< rush-hour multiplier over the base
+  double station_scale_alpha = 1.3;  ///< Pareto tail of per-station volume
+  double noise = 0.12;               ///< lognormal-ish multiplicative noise
+};
+
+/// One trace per edge; trace[t] = M_i^t, the number of arriving samples.
+using WorkloadTraces = std::vector<std::vector<int>>;
+
+/// Deterministic double-peak diurnal shape in [0, 1] for a slot-of-day
+/// fraction u in [0, 1). Exposed for tests.
+double diurnal_shape(double u) noexcept;
+
+/// Generate per-edge workload traces.
+WorkloadTraces generate_workload(std::size_t num_edges,
+                                 const WorkloadConfig& config, Rng& rng);
+
+}  // namespace cea::data

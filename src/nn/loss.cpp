@@ -1,0 +1,64 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/model.h"
+
+namespace cea::nn {
+
+LossAndGrad softmax_cross_entropy(const Tensor& logits,
+                                  std::span<const std::size_t> labels) {
+  assert(logits.rank() == 2 && logits.dim(0) == labels.size());
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  const Tensor probs = softmax(logits);
+  LossAndGrad result;
+  result.grad_logits = Tensor({batch, classes});
+  double total = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t y = labels[b];
+    assert(y < classes);
+    total -= std::log(std::max(probs.at(b, y), 1e-12f));
+    for (std::size_t c = 0; c < classes; ++c) {
+      const float target = (c == y) ? 1.0f : 0.0f;
+      result.grad_logits.at(b, c) = (probs.at(b, c) - target) * inv_batch;
+    }
+  }
+  result.loss = total / static_cast<double>(batch);
+  return result;
+}
+
+std::vector<double> squared_losses(const Tensor& probabilities,
+                                   std::span<const std::size_t> labels) {
+  assert(probabilities.rank() == 2 && probabilities.dim(0) == labels.size());
+  const std::size_t batch = probabilities.dim(0);
+  const std::size_t classes = probabilities.dim(1);
+  std::vector<double> losses(batch, 0.0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double target = (c == labels[b]) ? 1.0 : 0.0;
+      const double diff = probabilities.at(b, c) - target;
+      acc += diff * diff;
+    }
+    losses[b] = acc;
+  }
+  return losses;
+}
+
+double accuracy(const Tensor& logits, std::span<const std::size_t> labels) {
+  assert(logits.rank() == 2 && logits.dim(0) == labels.size());
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  if (batch == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes; ++c)
+      if (logits.at(b, c) > logits.at(b, best)) best = c;
+    if (best == labels[b]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace cea::nn

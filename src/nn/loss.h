@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace cea::nn {
+
+/// Mean cross-entropy of softmax(logits) against integer labels, plus the
+/// gradient with respect to the logits (softmax - onehot) / batch.
+struct LossAndGrad {
+  double loss = 0.0;
+  Tensor grad_logits;
+};
+
+LossAndGrad softmax_cross_entropy(const Tensor& logits,
+                                  std::span<const std::size_t> labels);
+
+/// Per-sample squared loss between the softmax output and the one-hot label:
+/// l_n(a, b) = || h_n(a) - onehot(b) ||^2 — the paper's inference loss
+/// (Section II-A chooses the squared loss without loss of generality).
+std::vector<double> squared_losses(const Tensor& probabilities,
+                                   std::span<const std::size_t> labels);
+
+/// Fraction of rows whose argmax matches the label.
+double accuracy(const Tensor& logits, std::span<const std::size_t> labels);
+
+}  // namespace cea::nn

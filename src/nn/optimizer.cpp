@@ -1,0 +1,97 @@
+#include "nn/optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cea::nn {
+namespace {
+
+/// Ensure the state vector has one zero-filled buffer per visited block.
+void ensure_state(std::vector<std::vector<float>>& state,
+                  std::size_t block_index, std::size_t block_size) {
+  if (state.size() <= block_index) state.resize(block_index + 1);
+  if (state[block_index].size() != block_size)
+    state[block_index].assign(block_size, 0.0f);
+}
+
+}  // namespace
+
+SgdOptimizer::SgdOptimizer(float learning_rate, float weight_decay)
+    : learning_rate_(learning_rate), weight_decay_(weight_decay) {
+  assert(learning_rate > 0.0f);
+}
+
+void SgdOptimizer::step(Sequential& model) {
+  model.visit_gradients([this](std::span<float> params,
+                               std::span<float> grads) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i] -= learning_rate_ *
+                   (grads[i] + weight_decay_ * params[i]);
+      grads[i] = 0.0f;
+    }
+  });
+}
+
+MomentumOptimizer::MomentumOptimizer(float learning_rate, float momentum,
+                                     float weight_decay)
+    : learning_rate_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  assert(learning_rate > 0.0f);
+  assert(momentum >= 0.0f && momentum < 1.0f);
+}
+
+void MomentumOptimizer::step(Sequential& model) {
+  std::size_t block = 0;
+  model.visit_gradients([this, &block](std::span<float> params,
+                                       std::span<float> grads) {
+    ensure_state(velocity_, block, params.size());
+    auto& velocity = velocity_[block];
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const float g = grads[i] + weight_decay_ * params[i];
+      velocity[i] = momentum_ * velocity[i] + g;
+      params[i] -= learning_rate_ * velocity[i];
+      grads[i] = 0.0f;
+    }
+    ++block;
+  });
+}
+
+AdamOptimizer::AdamOptimizer(float learning_rate, float beta1, float beta2,
+                             float epsilon, float weight_decay)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  assert(learning_rate > 0.0f);
+  assert(beta1 >= 0.0f && beta1 < 1.0f);
+  assert(beta2 >= 0.0f && beta2 < 1.0f);
+}
+
+void AdamOptimizer::step(Sequential& model) {
+  ++steps_;
+  const float bias1 =
+      1.0f - std::pow(beta1_, static_cast<float>(steps_));
+  const float bias2 =
+      1.0f - std::pow(beta2_, static_cast<float>(steps_));
+  std::size_t block = 0;
+  model.visit_gradients([&](std::span<float> params, std::span<float> grads) {
+    ensure_state(first_moment_, block, params.size());
+    ensure_state(second_moment_, block, params.size());
+    auto& m = first_moment_[block];
+    auto& v = second_moment_[block];
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const float g = grads[i] + weight_decay_ * params[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      params[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+      grads[i] = 0.0f;
+    }
+    ++block;
+  });
+}
+
+}  // namespace cea::nn

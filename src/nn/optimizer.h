@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace cea::nn {
+
+/// First-order optimizer over a Sequential model's parameters.
+///
+/// step() consumes the gradients accumulated by the model's backward pass
+/// (zeroing them), applying one update. Optimizers keep per-block state
+/// (momentum buffers, Adam moments) keyed by visitation order, which is
+/// stable for a fixed architecture.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update using the accumulated gradients, then clear them.
+  virtual void step(Sequential& model) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Plain SGD: w -= lr * g, with optional decoupled weight decay.
+class SgdOptimizer final : public Optimizer {
+ public:
+  explicit SgdOptimizer(float learning_rate, float weight_decay = 0.0f);
+
+  void step(Sequential& model) override;
+  std::string name() const override { return "sgd"; }
+
+ private:
+  float learning_rate_;
+  float weight_decay_;
+};
+
+/// SGD with classical (heavy-ball) momentum:
+///   v = mu * v + g;  w -= lr * v.
+class MomentumOptimizer final : public Optimizer {
+ public:
+  MomentumOptimizer(float learning_rate, float momentum = 0.9f,
+                    float weight_decay = 0.0f);
+
+  void step(Sequential& model) override;
+  std::string name() const override { return "momentum"; }
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class AdamOptimizer final : public Optimizer {
+ public:
+  AdamOptimizer(float learning_rate, float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f, float weight_decay = 0.0f);
+
+  void step(Sequential& model) override;
+  std::string name() const override { return "adam"; }
+
+  std::size_t steps_taken() const noexcept { return steps_; }
+
+ private:
+  float learning_rate_, beta1_, beta2_, epsilon_, weight_decay_;
+  std::size_t steps_ = 0;
+  std::vector<std::vector<float>> first_moment_;
+  std::vector<std::vector<float>> second_moment_;
+};
+
+}  // namespace cea::nn

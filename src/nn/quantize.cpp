@@ -1,0 +1,45 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cea::nn {
+
+QuantizationReport quantize_model(Sequential& model, std::size_t bits) {
+  assert(bits >= 2 && bits <= 16);
+  QuantizationReport report;
+  report.bits = bits;
+  const double levels = std::pow(2.0, static_cast<double>(bits) - 1) - 1.0;
+  double error_sum = 0.0;
+  model.visit_parameters([&](std::span<float> block) {
+    float max_abs = 0.0f;
+    for (float v : block) max_abs = std::max(max_abs, std::abs(v));
+    if (max_abs == 0.0f) {
+      report.parameter_count += block.size();
+      return;
+    }
+    const float scale = max_abs / static_cast<float>(levels);
+    for (auto& v : block) {
+      const float q = std::round(v / scale) * scale;
+      const double err = std::abs(static_cast<double>(q) - v);
+      report.max_abs_error = std::max(report.max_abs_error, err);
+      error_sum += err;
+      v = q;
+    }
+    report.parameter_count += block.size();
+  });
+  report.mean_abs_error =
+      report.parameter_count > 0
+          ? error_sum / static_cast<double>(report.parameter_count)
+          : 0.0;
+  report.size_mb = quantized_size_mb(model, bits);
+  return report;
+}
+
+double quantized_size_mb(const Sequential& model, std::size_t bits) {
+  return static_cast<double>(model.parameter_count()) *
+         (static_cast<double>(bits) / 8.0) / (1024.0 * 1024.0);
+}
+
+}  // namespace cea::nn

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+
+#include "nn/model.h"
+
+namespace cea::nn {
+
+/// Result of quantizing a model's parameters.
+struct QuantizationReport {
+  std::size_t bits = 8;          ///< target bit width
+  std::size_t parameter_count = 0;
+  double size_mb = 0.0;          ///< size at the target width
+  double max_abs_error = 0.0;    ///< worst per-parameter rounding error
+  double mean_abs_error = 0.0;
+};
+
+/// Simulated post-training quantization: every parameter block is rounded
+/// to a symmetric per-block int grid of the given bit width (weights stay
+/// float so the unmodified inference path exercises the quantized values —
+/// "fake quantization", the standard QAT evaluation trick).
+///
+/// This implements the paper's future-work direction of supporting large
+/// models at the edge "via quantization-aware carbon or energy control":
+/// a quantized variant is a new arm with ~bits/32 of the size (less
+/// transfer energy F_{i,n}) and a slightly worse loss distribution; the
+/// controller can then trade accuracy against carbon. See
+/// bench/ext_quantization.
+///
+/// `bits` must be in [2, 16].
+QuantizationReport quantize_model(Sequential& model, std::size_t bits);
+
+/// Model size in MB at a given bit width (4-byte floats -> bits/32 scale).
+double quantized_size_mb(const Sequential& model, std::size_t bits);
+
+}  // namespace cea::nn

@@ -1,0 +1,72 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cea::nn {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'E', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void save_model(Sequential& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_model: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(model.name().size()));
+  out.write(model.name().data(),
+            static_cast<std::streamsize>(model.name().size()));
+  write_u32(out, static_cast<std::uint32_t>(model.parameter_count()));
+  model.visit_parameters([&out](std::span<float> block) {
+    out.write(reinterpret_cast<const char*>(block.data()),
+              static_cast<std::streamsize>(block.size() * sizeof(float)));
+  });
+  if (!out) throw std::runtime_error("save_model: write failed for " + path);
+}
+
+void load_model(Sequential& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_model: cannot open " + path);
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("load_model: bad magic in " + path);
+  const std::uint32_t version = read_u32(in);
+  if (version != kVersion)
+    throw std::runtime_error("load_model: unsupported version in " + path);
+  const std::uint32_t name_len = read_u32(in);
+  std::vector<char> stored_name(name_len);
+  in.read(stored_name.data(), name_len);
+  const std::uint32_t stored_params = read_u32(in);
+  if (!in) throw std::runtime_error("load_model: truncated header in " + path);
+  if (stored_params != model.parameter_count()) {
+    throw std::runtime_error(
+        "load_model: parameter-count mismatch (" +
+        std::to_string(stored_params) + " stored vs " +
+        std::to_string(model.parameter_count()) + " in model)");
+  }
+  model.visit_parameters([&in, &path](std::span<float> block) {
+    in.read(reinterpret_cast<char*>(block.data()),
+            static_cast<std::streamsize>(block.size() * sizeof(float)));
+    if (!in)
+      throw std::runtime_error("load_model: truncated payload in " + path);
+  });
+}
+
+}  // namespace cea::nn

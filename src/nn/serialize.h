@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace cea::nn {
+
+/// Save a model's parameters to a binary checkpoint.
+///
+/// Format: magic "CENN", format version, model-name length + bytes, total
+/// parameter count, then all parameter blocks as little-endian float32 in
+/// visit_parameters order. The architecture itself is NOT serialized: the
+/// loader must supply a structurally identical model (the usual
+/// state-dict convention).
+///
+/// Throws std::runtime_error on I/O failure.
+void save_model(Sequential& model, const std::string& path);
+
+/// Load parameters saved by save_model into a structurally identical model.
+/// Throws std::runtime_error on I/O failure, bad magic/version, or
+/// parameter-count mismatch. The stored model name is informational only
+/// and not required to match.
+void load_model(Sequential& model, const std::string& path);
+
+}  // namespace cea::nn

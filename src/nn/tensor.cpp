@@ -1,0 +1,40 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cea::nn {
+
+std::size_t Tensor::shape_size(const std::vector<std::size_t>& shape) noexcept {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  assert(shape_size(new_shape) == size());
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream ss;
+  ss << '(';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) ss << ", ";
+    ss << shape_[i];
+  }
+  ss << ')';
+  return ss.str();
+}
+
+}  // namespace cea::nn

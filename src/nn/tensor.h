@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cea::nn {
+
+/// Dense row-major float tensor with a dynamic shape.
+///
+/// Conventions used throughout the nn library:
+///  * images/activations: (batch, channels, height, width)
+///  * flattened features:  (batch, features)
+/// The tensor owns its storage; copies are deep (value semantics).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  const std::vector<std::size_t>& shape() const noexcept { return shape_; }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::size_t dim(std::size_t i) const noexcept { return shape_[i]; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// 2-D accessor (batch, feature).
+  float& at(std::size_t b, std::size_t f) noexcept {
+    return data_[b * shape_[1] + f];
+  }
+  float at(std::size_t b, std::size_t f) const noexcept {
+    return data_[b * shape_[1] + f];
+  }
+
+  /// 4-D accessor (batch, channel, row, col).
+  float& at(std::size_t b, std::size_t c, std::size_t y, std::size_t x) noexcept {
+    return data_[((b * shape_[1] + c) * shape_[2] + y) * shape_[3] + x];
+  }
+  float at(std::size_t b, std::size_t c, std::size_t y, std::size_t x) const noexcept {
+    return data_[((b * shape_[1] + c) * shape_[2] + y) * shape_[3] + x];
+  }
+
+  /// Reinterpret to a new shape with the same element count.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  void fill(float value) noexcept;
+
+  /// "(2, 3, 28, 28)" — for error messages.
+  std::string shape_string() const;
+
+  static std::size_t shape_size(const std::vector<std::size_t>& shape) noexcept;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace cea::nn

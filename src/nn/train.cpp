@@ -1,0 +1,114 @@
+#include "nn/train.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace cea::nn {
+
+Tensor gather_rows(const Tensor& samples, std::span<const std::size_t> indices) {
+  assert(samples.rank() >= 2);
+  const std::size_t row_size = samples.size() / samples.dim(0);
+  std::vector<std::size_t> shape = samples.shape();
+  shape[0] = indices.size();
+  Tensor out(shape);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < samples.dim(0));
+    const auto src = samples.data().subspan(indices[i] * row_size, row_size);
+    std::copy(src.begin(), src.end(), out.data().begin() + i * row_size);
+  }
+  return out;
+}
+
+std::vector<std::size_t> gather_labels(std::span<const std::size_t> labels,
+                                       std::span<const std::size_t> indices) {
+  std::vector<std::size_t> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(labels[i]);
+  return out;
+}
+
+namespace {
+
+/// Shared minibatch loop; `update` applies one optimization step after the
+/// backward pass has accumulated gradients.
+template <typename UpdateFn>
+std::vector<double> train_loop(Sequential& model, const Tensor& samples,
+                               std::span<const std::size_t> labels,
+                               const TrainConfig& config, Rng& rng,
+                               UpdateFn&& update) {
+  assert(samples.dim(0) == labels.size());
+  const std::size_t num = samples.dim(0);
+  std::vector<double> epoch_losses;
+  epoch_losses.reserve(config.epochs);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = rng.permutation(num);
+    double total_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < num; start += config.batch_size) {
+      const std::size_t count = std::min(config.batch_size, num - start);
+      const std::span<const std::size_t> batch_indices(order.data() + start,
+                                                       count);
+      const Tensor batch = gather_rows(samples, batch_indices);
+      const auto batch_labels = gather_labels(labels, batch_indices);
+      const Tensor logits = model.forward(batch);
+      const auto loss = softmax_cross_entropy(logits, batch_labels);
+      model.backward(loss.grad_logits);
+      update();
+      total_loss += loss.loss;
+      ++batches;
+    }
+    epoch_losses.push_back(
+        batches > 0 ? total_loss / static_cast<double>(batches) : 0.0);
+  }
+  return epoch_losses;
+}
+
+}  // namespace
+
+std::vector<double> train_sgd(Sequential& model, const Tensor& samples,
+                              std::span<const std::size_t> labels,
+                              const TrainConfig& config, Rng& rng) {
+  return train_loop(model, samples, labels, config, rng, [&] {
+    model.apply_gradients(config.learning_rate);
+  });
+}
+
+std::vector<double> train_with_optimizer(Sequential& model,
+                                         Optimizer& optimizer,
+                                         const Tensor& samples,
+                                         std::span<const std::size_t> labels,
+                                         const TrainConfig& config, Rng& rng) {
+  return train_loop(model, samples, labels, config, rng,
+                    [&] { optimizer.step(model); });
+}
+
+EvalResult evaluate(Sequential& model, const Tensor& samples,
+                    std::span<const std::size_t> labels,
+                    std::size_t batch_size) {
+  assert(samples.dim(0) == labels.size());
+  const std::size_t num = samples.dim(0);
+  EvalResult result;
+  if (num == 0) return result;
+  double loss_sum = 0.0;
+  double correct = 0.0;
+  std::vector<std::size_t> indices(batch_size);
+  for (std::size_t start = 0; start < num; start += batch_size) {
+    const std::size_t count = std::min(batch_size, num - start);
+    indices.resize(count);
+    for (std::size_t i = 0; i < count; ++i) indices[i] = start + i;
+    const Tensor batch = gather_rows(samples, indices);
+    const auto batch_labels = gather_labels(labels, indices);
+    const Tensor logits = model.forward(batch);
+    const auto loss = softmax_cross_entropy(logits, batch_labels);
+    loss_sum += loss.loss * static_cast<double>(count);
+    correct += accuracy(logits, batch_labels) * static_cast<double>(count);
+  }
+  result.cross_entropy = loss_sum / static_cast<double>(num);
+  result.accuracy = correct / static_cast<double>(num);
+  return result;
+}
+
+}  // namespace cea::nn

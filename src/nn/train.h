@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/model.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace cea::nn {
+
+/// Hyper-parameters for plain minibatch SGD training.
+struct TrainConfig {
+  std::size_t epochs = 3;
+  std::size_t batch_size = 32;
+  float learning_rate = 0.05f;
+};
+
+/// Copy the rows selected by `indices` out of a (num, ...) sample tensor.
+Tensor gather_rows(const Tensor& samples, std::span<const std::size_t> indices);
+
+/// Gather labels by the same indices.
+std::vector<std::size_t> gather_labels(std::span<const std::size_t> labels,
+                                       std::span<const std::size_t> indices);
+
+/// Train with minibatch SGD + softmax cross-entropy. `samples` holds all
+/// training rows stacked along dimension 0. Returns the mean training loss
+/// of each epoch (useful for asserting that optimization makes progress).
+std::vector<double> train_sgd(Sequential& model, const Tensor& samples,
+                              std::span<const std::size_t> labels,
+                              const TrainConfig& config, Rng& rng);
+
+class Optimizer;  // nn/optimizer.h
+
+/// Train with an explicit optimizer (SGD/momentum/Adam); the config's
+/// learning_rate is ignored in favor of the optimizer's own.
+std::vector<double> train_with_optimizer(Sequential& model,
+                                         Optimizer& optimizer,
+                                         const Tensor& samples,
+                                         std::span<const std::size_t> labels,
+                                         const TrainConfig& config, Rng& rng);
+
+/// Evaluate mean cross-entropy and accuracy on a held-out set, batched so
+/// memory stays bounded.
+struct EvalResult {
+  double cross_entropy = 0.0;
+  double accuracy = 0.0;
+};
+
+EvalResult evaluate(Sequential& model, const Tensor& samples,
+                    std::span<const std::size_t> labels,
+                    std::size_t batch_size = 128);
+
+}  // namespace cea::nn

@@ -1,0 +1,131 @@
+#include "opt/brent.h"
+
+#include <cmath>
+#include <utility>
+
+namespace cea {
+
+ScalarResult brent_root(const std::function<double(double)>& f, double a,
+                        double b, double tolerance, int max_iterations) {
+  ScalarResult result;
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return {a, fa, 0, true};
+  if (fb == 0.0) return {b, fb, 0, true};
+  if (fa * fb > 0.0) return {a, fa, 0, false};
+
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;
+  double fc = fa;
+  double d = b - a;  // step before last
+  bool used_bisection = true;
+
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+
+    const double mid = (a + b) / 2.0;
+    const bool out_of_bracket = (s < std::min(mid, b) || s > std::max(mid, b));
+    const bool slow =
+        (used_bisection && std::abs(s - b) >= std::abs(b - c) / 2.0) ||
+        (!used_bisection && std::abs(s - b) >= std::abs(d) / 2.0);
+    if (out_of_bracket || slow) {
+      s = mid;
+      used_bisection = true;
+    } else {
+      used_bisection = false;
+    }
+
+    const double fs = f(s);
+    d = c - b;
+    c = b;
+    fc = fb;
+    if (fa * fs < 0.0) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+    if (fb == 0.0 || std::abs(b - a) < tolerance) {
+      return {b, fb, iter, true};
+    }
+  }
+  return {b, fb, max_iterations, false};
+}
+
+ScalarResult brent_minimize(const std::function<double(double)>& f, double a,
+                            double b, double tolerance, int max_iterations) {
+  constexpr double kGolden = 0.3819660112501051;  // 2 - phi
+  double x = a + kGolden * (b - a);
+  double w = x, v = x;
+  double fx = f(x);
+  double fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    const double mid = (a + b) / 2.0;
+    const double tol1 = tolerance * std::abs(x) + 1e-15;
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - mid) <= tol2 - (b - a) / 2.0) {
+      return {x, fx, iter, true};
+    }
+    bool use_golden = true;
+    if (std::abs(e) > tol1) {
+      // Fit a parabola through (v,fv), (w,fw), (x,fx).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double e_old = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = (mid > x ? tol1 : -tol1);
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x < mid ? b : a) - x;
+      d = kGolden * e;
+    }
+    const double u = x + (std::abs(d) >= tol1 ? d : (d > 0 ? tol1 : -tol1));
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u < x) b = x; else a = x;
+      v = w; fv = fw;
+      w = x; fw = fx;
+      x = u; fx = fu;
+    } else {
+      if (u < x) a = u; else b = u;
+      if (fu <= fw || w == x) {
+        v = w; fv = fw;
+        w = u; fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u; fv = fu;
+      }
+    }
+  }
+  return {x, fx, max_iterations, false};
+}
+
+}  // namespace cea

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <functional>
+
+namespace cea {
+
+/// Result of a one-dimensional solve.
+struct ScalarResult {
+  double x = 0.0;       ///< argument at the solution
+  double fx = 0.0;      ///< function value at x
+  int iterations = 0;   ///< iterations consumed
+  bool converged = false;
+};
+
+/// Find a root of f on [a, b] with Brent's method (inverse quadratic
+/// interpolation + secant + bisection). Requires f(a) and f(b) of opposite
+/// sign; returns converged=false otherwise.
+///
+/// The paper's Algorithm 1 complexity analysis cites Brent for the
+/// O(log(1/eps)) inner solve of the online-mirror-descent step; this is that
+/// solver.
+ScalarResult brent_root(const std::function<double(double)>& f, double a,
+                        double b, double tolerance = 1e-12,
+                        int max_iterations = 200);
+
+/// Minimize a unimodal f on [a, b] with Brent's parabolic-interpolation
+/// minimizer (golden-section fallback).
+ScalarResult brent_minimize(const std::function<double(double)>& f, double a,
+                            double b, double tolerance = 1e-10,
+                            int max_iterations = 200);
+
+}  // namespace cea

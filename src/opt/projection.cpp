@@ -1,0 +1,42 @@
+#include "opt/projection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cea {
+
+std::vector<double> project_to_simplex(std::span<const double> point) {
+  assert(!point.empty());
+  // Sort descending, find the largest rho with
+  // u_rho - (sum_{i<=rho} u_i - 1)/rho > 0, then shift and clamp.
+  std::vector<double> sorted(point.begin(), point.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double running = 0.0;
+  double tau = 0.0;
+  std::size_t rho = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    running += sorted[i];
+    const double candidate =
+        (running - 1.0) / static_cast<double>(i + 1);
+    if (sorted[i] - candidate > 0.0) {
+      rho = i + 1;
+      tau = candidate;
+    }
+  }
+  (void)rho;
+  std::vector<double> projected(point.size());
+  for (std::size_t i = 0; i < point.size(); ++i)
+    projected[i] = std::max(point[i] - tau, 0.0);
+  return projected;
+}
+
+std::vector<double> project_to_box(std::span<const double> point, double lo,
+                                   double hi) {
+  assert(lo <= hi);
+  std::vector<double> projected(point.size());
+  for (std::size_t i = 0; i < point.size(); ++i)
+    projected[i] = std::clamp(point[i], lo, hi);
+  return projected;
+}
+
+}  // namespace cea

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cea {
+
+/// Euclidean projection of `point` onto the probability simplex
+/// { p : p_i >= 0, sum p_i = 1 } (Duchi et al. 2008, O(n log n)).
+std::vector<double> project_to_simplex(std::span<const double> point);
+
+/// Euclidean projection onto the box [lo, hi]^n (element-wise clamp).
+std::vector<double> project_to_box(std::span<const double> point, double lo,
+                                   double hi);
+
+}  // namespace cea

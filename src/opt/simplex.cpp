@@ -1,0 +1,272 @@
+#include "opt/simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cea {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau. Rows: one per constraint plus the objective row
+/// (last). Columns: structural vars, slack/surplus vars, artificial vars,
+/// and the rhs (last).
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem) {
+    const std::size_t n = problem.num_variables();
+    const std::size_t m = problem.constraints.size();
+    num_structural_ = n;
+    num_rows_ = m;
+
+    // Count slack/surplus and artificial columns; normalize rhs >= 0.
+    std::vector<double> rhs(m);
+    std::vector<Relation> rel(m);
+    std::vector<std::vector<double>> rows(m, std::vector<double>(n, 0.0));
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto& con = problem.constraints[r];
+      assert(con.coeffs.size() == n);
+      double sign = con.rhs < 0.0 ? -1.0 : 1.0;
+      rhs[r] = sign * con.rhs;
+      rel[r] = con.relation;
+      if (sign < 0.0) {
+        if (con.relation == Relation::kLessEqual)
+          rel[r] = Relation::kGreaterEqual;
+        else if (con.relation == Relation::kGreaterEqual)
+          rel[r] = Relation::kLessEqual;
+      }
+      for (std::size_t c = 0; c < n; ++c) rows[r][c] = sign * con.coeffs[c];
+    }
+
+    std::size_t slack_count = 0;
+    std::size_t artificial_count = 0;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (rel[r] != Relation::kEqual) ++slack_count;
+      if (rel[r] != Relation::kLessEqual) ++artificial_count;
+    }
+    num_slack_ = slack_count;
+    num_artificial_ = artificial_count;
+    const std::size_t cols = n + slack_count + artificial_count + 1;
+    a_.assign(m + 1, std::vector<double>(cols, 0.0));
+    basis_.assign(m, 0);
+
+    std::size_t next_slack = n;
+    std::size_t next_artificial = n + slack_count;
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a_[r][c] = rows[r][c];
+      a_[r][cols - 1] = rhs[r];
+      switch (rel[r]) {
+        case Relation::kLessEqual:
+          a_[r][next_slack] = 1.0;
+          basis_[r] = next_slack++;
+          break;
+        case Relation::kGreaterEqual:
+          a_[r][next_slack] = -1.0;
+          ++next_slack;
+          a_[r][next_artificial] = 1.0;
+          basis_[r] = next_artificial++;
+          break;
+        case Relation::kEqual:
+          a_[r][next_artificial] = 1.0;
+          basis_[r] = next_artificial++;
+          break;
+      }
+    }
+  }
+
+  std::size_t cols() const noexcept { return a_[0].size(); }
+  std::size_t rhs_col() const noexcept { return cols() - 1; }
+  std::size_t artificial_begin() const noexcept {
+    return num_structural_ + num_slack_;
+  }
+
+  /// Load the phase-1 objective (minimize sum of artificials) into the
+  /// objective row and price out basic artificials.
+  void load_phase1_objective() {
+    auto& obj = a_[num_rows_];
+    std::fill(obj.begin(), obj.end(), 0.0);
+    for (std::size_t c = artificial_begin(); c < rhs_col(); ++c) obj[c] = 1.0;
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (basis_[r] >= artificial_begin()) {
+        for (std::size_t c = 0; c < cols(); ++c) obj[c] -= a_[r][c];
+      }
+    }
+  }
+
+  /// Load the phase-2 objective (minimize c.x) and price out basic columns.
+  /// Artificial columns are frozen by a large positive reduced cost.
+  void load_phase2_objective(const std::vector<double>& minimize_costs) {
+    auto& obj = a_[num_rows_];
+    std::fill(obj.begin(), obj.end(), 0.0);
+    for (std::size_t c = 0; c < num_structural_; ++c)
+      obj[c] = minimize_costs[c];
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      const std::size_t b = basis_[r];
+      const double cost = b < num_structural_ ? minimize_costs[b] : 0.0;
+      if (cost != 0.0) {
+        for (std::size_t c = 0; c < cols(); ++c) obj[c] -= cost * a_[r][c];
+      }
+    }
+  }
+
+  /// Run primal simplex on the current objective row with Bland's rule.
+  /// `allow_artificial` permits artificial columns to enter (phase 1 only).
+  LpStatus iterate(int max_iterations, bool allow_artificial,
+                   int& iterations_used) {
+    const std::size_t limit =
+        allow_artificial ? rhs_col() : artificial_begin();
+    auto& obj = a_[num_rows_];
+    for (int iter = 0; iter < max_iterations; ++iter) {
+      // Bland: entering column = smallest index with negative reduced cost.
+      std::size_t pivot_col = limit;
+      for (std::size_t c = 0; c < limit; ++c) {
+        if (obj[c] < -kEps) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col == limit) {
+        iterations_used += iter;
+        return LpStatus::kOptimal;
+      }
+      // Ratio test; Bland tie-break on smallest basis index.
+      std::size_t pivot_row = num_rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < num_rows_; ++r) {
+        if (a_[r][pivot_col] > kEps) {
+          const double ratio = a_[r][rhs_col()] / a_[r][pivot_col];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (pivot_row == num_rows_ || basis_[r] < basis_[pivot_row]))) {
+            best_ratio = ratio;
+            pivot_row = r;
+          }
+        }
+      }
+      if (pivot_row == num_rows_) {
+        iterations_used += iter;
+        return LpStatus::kUnbounded;
+      }
+      pivot(pivot_row, pivot_col);
+    }
+    iterations_used += max_iterations;
+    return LpStatus::kIterationLimit;
+  }
+
+  double objective_row_value() const noexcept {
+    return -a_[num_rows_][rhs_col()];
+  }
+
+  /// Try to pivot basic artificial variables out after phase 1. Rows whose
+  /// artificial cannot leave (all-zero row) are redundant and harmless.
+  void drive_out_artificials() {
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (basis_[r] < artificial_begin()) continue;
+      if (std::abs(a_[r][rhs_col()]) > kEps) continue;  // should not happen
+      for (std::size_t c = 0; c < artificial_begin(); ++c) {
+        if (std::abs(a_[r][c]) > kEps) {
+          pivot(r, c);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<double> extract_solution() const {
+    std::vector<double> x(num_structural_, 0.0);
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (basis_[r] < num_structural_) x[basis_[r]] = a_[r][rhs_col()];
+    }
+    return x;
+  }
+
+ private:
+  void pivot(std::size_t pivot_row, std::size_t pivot_col) {
+    auto& prow = a_[pivot_row];
+    const double inv = 1.0 / prow[pivot_col];
+    for (auto& v : prow) v *= inv;
+    prow[pivot_col] = 1.0;  // kill round-off
+    for (std::size_t r = 0; r <= num_rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = a_[r][pivot_col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols(); ++c) a_[r][c] -= factor * prow[c];
+      a_[r][pivot_col] = 0.0;
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+  std::vector<std::vector<double>> a_;
+  std::vector<std::size_t> basis_;
+  std::size_t num_structural_ = 0;
+  std::size_t num_slack_ = 0;
+  std::size_t num_artificial_ = 0;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace
+
+std::string to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+LpSolution solve_lp(const LpProblem& problem, int max_iterations) {
+  LpSolution solution;
+  const std::size_t n = problem.num_variables();
+  if (n == 0) {
+    solution.status = LpStatus::kOptimal;
+    solution.x = {};
+    return solution;
+  }
+  for (const auto& con : problem.constraints) {
+    assert(con.coeffs.size() == n && "constraint arity mismatch");
+    (void)con;
+  }
+
+  Tableau tableau(problem);
+
+  // Phase 1: find a basic feasible solution.
+  tableau.load_phase1_objective();
+  LpStatus status =
+      tableau.iterate(max_iterations, /*allow_artificial=*/true,
+                      solution.iterations);
+  if (status != LpStatus::kOptimal) {
+    solution.status = status;
+    return solution;
+  }
+  if (tableau.objective_row_value() > 1e-7) {
+    solution.status = LpStatus::kInfeasible;
+    return solution;
+  }
+  tableau.drive_out_artificials();
+
+  // Phase 2: optimize the real objective (internally always minimize).
+  std::vector<double> minimize_costs = problem.objective;
+  if (problem.maximize) {
+    for (auto& c : minimize_costs) c = -c;
+  }
+  tableau.load_phase2_objective(minimize_costs);
+  status = tableau.iterate(max_iterations, /*allow_artificial=*/false,
+                           solution.iterations);
+  if (status != LpStatus::kOptimal) {
+    solution.status = status;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x = tableau.extract_solution();
+  double value = 0.0;
+  for (std::size_t c = 0; c < n; ++c)
+    value += problem.objective[c] * solution.x[c];
+  solution.objective = value;
+  return solution;
+}
+
+}  // namespace cea

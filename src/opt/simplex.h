@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cea {
+
+/// Relation of a linear constraint's left-hand side to its right-hand side.
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint: coeffs . x  (relation)  rhs.
+struct LpConstraint {
+  std::vector<double> coeffs;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// A linear program over nonnegative variables x >= 0.
+///
+/// Optional per-variable upper bounds are expressed as extra <= rows by the
+/// caller (keeps the solver simple; our offline-trading LPs are small).
+struct LpProblem {
+  std::vector<double> objective;  ///< coefficients of c . x
+  bool maximize = false;          ///< default: minimize
+  std::vector<LpConstraint> constraints;
+
+  std::size_t num_variables() const noexcept { return objective.size(); }
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;       ///< in the problem's own sense (max or min)
+  std::vector<double> x;        ///< primal solution (empty unless optimal)
+  int iterations = 0;
+};
+
+/// Human-readable status name (for logs and test failure messages).
+std::string to_string(LpStatus status);
+
+/// Solve a (small, dense) linear program with the two-phase primal simplex
+/// method using Bland's anti-cycling rule.
+///
+/// This is the library's substitute for the Gurobi solver the paper uses for
+/// its Offline baseline: exact for the offline carbon-trading LPs, which have
+/// 2T variables and O(T) rows.
+LpSolution solve_lp(const LpProblem& problem, int max_iterations = 20000);
+
+}  // namespace cea

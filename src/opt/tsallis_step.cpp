@@ -1,0 +1,111 @@
+#include "opt/tsallis_step.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "opt/brent.h"
+
+namespace cea {
+namespace {
+
+/// Sum of p_n(lambda) = 4 / (eta*(theta_n + lambda))^2 over n.
+double probability_mass(std::span<const double> theta, double eta,
+                        double lambda) noexcept {
+  double total = 0.0;
+  for (double th : theta) {
+    const double denom = eta * (th + lambda);
+    total += 4.0 / (denom * denom);
+  }
+  return total;
+}
+
+/// d/dlambda of probability_mass (always negative on the valid range).
+double probability_mass_derivative(std::span<const double> theta, double eta,
+                                   double lambda) noexcept {
+  double total = 0.0;
+  for (double th : theta) {
+    const double denom = eta * (th + lambda);
+    total += -8.0 / (denom * denom * (th + lambda));
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<double> tsallis_probabilities(
+    std::span<const double> cumulative_losses, double eta) {
+  assert(eta > 0.0);
+  const std::size_t n = cumulative_losses.size();
+  assert(n > 0);
+  if (n == 1) return {1.0};
+
+  // theta_n = C_n + 2/eta, shifted so that min(theta) = 0: subtracting a
+  // constant from all losses only shifts lambda and improves conditioning.
+  std::vector<double> theta(n);
+  const double min_loss =
+      *std::min_element(cumulative_losses.begin(), cumulative_losses.end());
+  for (std::size_t i = 0; i < n; ++i)
+    theta[i] = (cumulative_losses[i] - min_loss);
+
+  // Bracket: at lambda_lo the smallest-theta arm alone has mass 1, so the
+  // total is >= 1; at lambda_hi every arm has mass <= 1/N, so the total
+  // is <= 1.
+  const double lambda_lo = 2.0 / eta;
+  const double lambda_hi = 2.0 * std::sqrt(static_cast<double>(n)) / eta;
+
+  // Safeguarded Newton from the midpoint.
+  double lambda = 0.5 * (lambda_lo + lambda_hi);
+  double lo = lambda_lo, hi = lambda_hi;
+  bool newton_ok = false;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mass = probability_mass(theta, eta, lambda) - 1.0;
+    if (std::abs(mass) < 1e-13) {
+      newton_ok = true;
+      break;
+    }
+    if (mass > 0.0)
+      lo = lambda;  // too much mass -> lambda must grow
+    else
+      hi = lambda;
+    const double deriv = probability_mass_derivative(theta, eta, lambda);
+    double next = lambda - mass / deriv;
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::abs(next - lambda) < 1e-15 * std::max(1.0, std::abs(lambda))) {
+      lambda = next;
+      newton_ok = true;
+      break;
+    }
+    lambda = next;
+  }
+  if (!newton_ok) {
+    const auto root = brent_root(
+        [&](double l) { return probability_mass(theta, eta, l) - 1.0; },
+        lambda_lo, lambda_hi, 1e-14);
+    if (root.converged) lambda = root.x;
+  }
+
+  std::vector<double> p(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double denom = eta * (theta[i] + lambda);
+    p[i] = 4.0 / (denom * denom);
+    total += p[i];
+  }
+  for (auto& v : p) v /= total;  // exact renormalization
+  return p;
+}
+
+double tsallis_step_objective(std::span<const double> cumulative_losses,
+                              double eta, std::span<const double> p) {
+  assert(cumulative_losses.size() == p.size());
+  double value = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    value += p[i] * cumulative_losses[i];
+    value -= (4.0 * std::sqrt(p[i]) - 2.0 * p[i]) / eta;
+  }
+  return value;
+}
+
+}  // namespace cea

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cea {
+
+/// Solve the online-mirror-descent step of Algorithm 1 (line 3):
+///
+///   p = argmin_{p in simplex}  <p, C>  -  sum_n (4*sqrt(p_n) - 2*p_n) / eta
+///
+/// i.e. mirror descent with the 1/2-Tsallis entropy regularizer of
+/// Zimmert & Seldin's Tsallis-INF. Stationarity gives the closed family
+///   p_n(lambda) = 4 / (eta^2 * (C_n + 2/eta + lambda)^2),
+/// and the normalization multiplier lambda is found by a safeguarded
+/// Newton iteration with a Brent-bracketed fallback (the paper cites the
+/// Brent method for this inner solve).
+///
+/// `cumulative_losses` are the importance-weighted cumulative loss
+/// estimates \hat{C}_{k-1}(n); `eta` is the block learning rate (> 0).
+/// Returns a strictly positive probability vector summing to 1.
+std::vector<double> tsallis_probabilities(
+    std::span<const double> cumulative_losses, double eta);
+
+/// Objective value of the OMD step at a given p (used by tests to verify
+/// optimality of tsallis_probabilities against direct minimization).
+double tsallis_step_objective(std::span<const double> cumulative_losses,
+                              double eta, std::span<const double> p);
+
+}  // namespace cea

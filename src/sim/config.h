@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+
+#include "data/carbon_market.h"
+#include "data/topology.h"
+#include "data/workload.h"
+
+namespace cea::sim {
+
+/// All knobs of one simulated scenario, defaulted to the paper's Section
+/// V-A settings (10 edges, 160 slots of 15 minutes over two days, 6 models,
+/// EU-permit price band, 500-unit initial cap, 500 units/kWh emission rate,
+/// 6..10 x 1e-8 kWh per inferred sample, computation latency 25..150 ms).
+///
+/// Units: one carbon-allowance unit covers one gram of CO2; prices are
+/// quoted per unit. Workload magnitudes follow busy-underground-station
+/// passenger counts (thousands per 15 minutes), which is what makes the cap
+/// bind and trading meaningful — see DESIGN.md "Units & scaling".
+struct SimConfig {
+  std::size_t num_edges = 10;
+  std::size_t horizon = 160;      ///< T
+  std::size_t num_models = 6;     ///< N
+
+  double carbon_cap = 500.0;      ///< R, allowance units
+  double emission_rate = 500.0;   ///< rho, units per kWh
+  double switching_weight = 1.0;  ///< scales every u_i (Fig. 5 knob)
+  double max_trade_per_slot = 25.0;
+
+  /// Compliance settlement: at the end of the horizon any uncovered
+  /// emission (the fit, ||[sum_t g^t]^+||) must be covered at a penalty of
+  /// `settlement_penalty_multiplier` times the final buying price — the
+  /// cap-and-trade analogue of the EU ETS excess-emissions penalty. This is
+  /// what makes constraint (1c) bite in cost comparisons: without it, a
+  /// trader that simply ignores the cap looks spuriously cheap.
+  double settlement_penalty_multiplier = 2.0;
+
+  /// Enforce the prefix reading of constraint (1c): at every slot, the
+  /// allowances sold may not exceed the allowances actually held (initial
+  /// cap + cumulative purchases - cumulative sales - cumulative emissions).
+  /// This is how real cap-and-trade programs work — permits cannot be sold
+  /// naked — and it stops cap-oblivious baselines from booking unbounded
+  /// phantom revenue. Decisions are clamped at execution; traders receive
+  /// the executed decision in feedback().
+  bool clamp_sales_to_holdings = true;
+
+  double comp_cost_min = 0.025;   ///< v_{i,n} lower bound, seconds
+  double comp_cost_max = 0.150;   ///< v_{i,n} upper bound, seconds
+  double energy_min = 6e-8;       ///< phi_n lower bound, kWh per sample
+  double energy_max = 10e-8;      ///< phi_n upper bound, kWh per sample
+
+  /// Cap on per-slot loss draws used to estimate L_{i,n}^t; the emission
+  /// accounting always uses the full M_i^t. 0 means draw all M samples.
+  std::size_t loss_draw_cap = 256;
+
+  /// Non-stationarity injection (beyond the paper, which assumes a
+  /// time-invariant distribution): from this slot on, model n's loss
+  /// distribution becomes that of the model with the mirrored loss rank
+  /// (best swaps with worst — see Environment::shift_target), as under an
+  /// abrupt concept drift. Energy and size stay with the hosted model
+  /// (hardware properties don't drift). 0 disables the shift.
+  std::size_t loss_shift_slot = 0;
+
+  data::WorkloadConfig workload{.num_slots = 160,
+                                .slots_per_day = 80,
+                                .mean_samples = 14000.0,
+                                .peak_factor = 2.2,
+                                .station_scale_alpha = 1.3,
+                                .noise = 0.12};
+  data::MarketConfig market{};
+  data::TopologyConfig topology{};
+
+  std::uint64_t seed = 42;  ///< environment seed (traces, prices, costs)
+};
+
+}  // namespace cea::sim

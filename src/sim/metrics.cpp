@@ -1,0 +1,105 @@
+#include "sim/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace cea::sim {
+
+std::vector<double> RunResult::slot_total_cost() const {
+  std::vector<double> total(horizon(), 0.0);
+  for (std::size_t t = 0; t < horizon(); ++t) {
+    total[t] = inference_cost[t] + switching_cost[t] + trading_cost[t];
+  }
+  return total;
+}
+
+std::vector<double> RunResult::cumulative_total_cost() const {
+  return cumulative_sum(slot_total_cost());
+}
+
+namespace {
+double sum_of(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+}  // namespace
+
+double RunResult::total_cost() const { return sum_of(slot_total_cost()); }
+double RunResult::total_inference_cost() const { return sum_of(inference_cost); }
+double RunResult::total_switching_cost() const { return sum_of(switching_cost); }
+double RunResult::total_trading_cost() const { return sum_of(trading_cost); }
+double RunResult::total_emissions() const { return sum_of(emissions); }
+double RunResult::total_buys() const { return sum_of(buys); }
+double RunResult::total_sells() const { return sum_of(sells); }
+
+double RunResult::mean_accuracy() const {
+  // Weight slot accuracy by the slot's workload.
+  double weighted = 0.0, total_weight = 0.0;
+  for (std::size_t t = 0; t < accuracy.size(); ++t) {
+    weighted += accuracy[t] * workload[t];
+    total_weight += workload[t];
+  }
+  return total_weight > 0.0 ? weighted / total_weight : 0.0;
+}
+
+double RunResult::violation() const {
+  double balance = -carbon_cap;
+  for (std::size_t t = 0; t < emissions.size(); ++t)
+    balance += emissions[t] - buys[t] + sells[t];
+  return std::max(0.0, balance);
+}
+
+double RunResult::settled_total_cost() const {
+  return total_cost() + violation() * settlement_price;
+}
+
+double RunResult::unit_purchase_cost() const {
+  const double net_quantity = total_buys() - total_sells();
+  const double net_cost = total_trading_cost();
+  if (std::abs(net_quantity) < 1e-9) return 0.0;
+  return net_cost / net_quantity;
+}
+
+RunResult average_runs(const std::vector<RunResult>& runs) {
+  assert(!runs.empty());
+  RunResult avg = runs.front();
+  const double inv = 1.0 / static_cast<double>(runs.size());
+
+  auto average_series = [&](std::vector<double> RunResult::*member) {
+    auto& out = avg.*member;
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+      const auto& series = runs[r].*member;
+      assert(series.size() == out.size());
+      for (std::size_t t = 0; t < out.size(); ++t) out[t] += series[t];
+    }
+    for (auto& v : out) v *= inv;
+  };
+  average_series(&RunResult::inference_cost);
+  average_series(&RunResult::switching_cost);
+  average_series(&RunResult::trading_cost);
+  average_series(&RunResult::emissions);
+  average_series(&RunResult::buys);
+  average_series(&RunResult::sells);
+  average_series(&RunResult::accuracy);
+  average_series(&RunResult::workload);
+
+  double switches = 0.0;
+  for (const auto& run : runs) {
+    switches += static_cast<double>(run.total_switches);
+    if (&run != &runs.front()) {
+      for (std::size_t i = 0; i < avg.selection_counts.size(); ++i) {
+        for (std::size_t n = 0; n < avg.selection_counts[i].size(); ++n) {
+          avg.selection_counts[i][n] += run.selection_counts[i][n];
+        }
+      }
+    }
+  }
+  avg.total_switches =
+      static_cast<std::size_t>(std::llround(switches * inv));
+  return avg;
+}
+
+}  // namespace cea::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cea::sim {
+
+/// Full per-slot record of one simulation run — everything the paper's
+/// figures are computed from.
+struct RunResult {
+  std::string algorithm;  ///< e.g. "Ours", "UCB-LY", "Offline"
+
+  std::vector<double> inference_cost;  ///< sum_i (E[l_J] + v_{i,J}) per slot
+  std::vector<double> switching_cost;  ///< sum_i y_i u_i per slot
+  std::vector<double> trading_cost;    ///< z c - w r per slot
+  std::vector<double> emissions;       ///< e^t, allowance units
+  std::vector<double> buys;            ///< z^t
+  std::vector<double> sells;           ///< w^t
+  std::vector<double> accuracy;        ///< workload-weighted accuracy per slot
+  std::vector<double> workload;        ///< sum_i M_i^t per slot
+
+  /// selection_counts[edge][model] = times model hosted on edge.
+  std::vector<std::vector<std::size_t>> selection_counts;
+  std::size_t total_switches = 0;
+
+  /// Scenario facts recorded by the simulator for settlement accounting.
+  double carbon_cap = 0.0;        ///< R of the scenario
+  double settlement_price = 0.0;  ///< penalty price per uncovered unit
+
+  std::size_t horizon() const noexcept { return inference_cost.size(); }
+
+  /// Per-slot total cost (objective (1) increments).
+  std::vector<double> slot_total_cost() const;
+  /// Running sum of slot_total_cost.
+  std::vector<double> cumulative_total_cost() const;
+  double total_cost() const;
+  double total_inference_cost() const;
+  double total_switching_cost() const;
+  double total_trading_cost() const;
+  double total_emissions() const;
+  double total_buys() const;
+  double total_sells() const;
+  double mean_accuracy() const;
+
+  /// Average unit cost of net allowance acquisition:
+  /// (sum z c - sum w r) / max(sum z - sum w, eps). Fig. 9's second panel.
+  double unit_purchase_cost() const;
+
+  /// Terminal carbon-neutrality violation (Theorem 2's fit).
+  double violation() const;
+
+  /// Total cost plus the compliance settlement of the terminal violation
+  /// at settlement_price — the apples-to-apples cost the Figs. 3-7 benches
+  /// compare (a cap-oblivious trader cannot undercut by under-covering).
+  double settled_total_cost() const;
+};
+
+/// Element-wise average of several runs of the *same* algorithm and horizon
+/// (the paper averages 10 runs). Selection counts are summed and switches
+/// averaged (rounded).
+RunResult average_runs(const std::vector<RunResult>& runs);
+
+}  // namespace cea::sim

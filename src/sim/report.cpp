@@ -1,0 +1,113 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace cea::sim {
+
+std::string comparison_report(const Environment& env,
+                              const std::vector<RunResult>& results) {
+  std::ostringstream out;
+  out << "Scenario: " << env.num_edges() << " edges, " << env.horizon()
+      << " slots, " << env.num_models() << " models, cap "
+      << fmt(env.config().carbon_cap, 0) << " units, rho "
+      << fmt(env.config().emission_rate, 0) << " units/kWh\n\n";
+
+  std::vector<const RunResult*> sorted;
+  sorted.reserve(results.size());
+  for (const auto& result : results) sorted.push_back(&result);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RunResult* a, const RunResult* b) {
+              return a->settled_total_cost() < b->settled_total_cost();
+            });
+
+  Table table({"algorithm", "settled", "inference", "switching", "trading",
+               "violation", "switches", "accuracy"});
+  for (const RunResult* result : sorted) {
+    table.add_row(result->algorithm,
+                  {result->settled_total_cost(),
+                   result->total_inference_cost(),
+                   result->total_switching_cost(),
+                   result->total_trading_cost(), result->violation(),
+                   static_cast<double>(result->total_switches),
+                   result->mean_accuracy()},
+                  2);
+  }
+  out << table.to_string();
+  return out.str();
+}
+
+std::string run_report(const Environment& env, const RunResult& result) {
+  std::ostringstream out;
+  out << "Run report: " << result.algorithm << "\n";
+  out << "  horizon " << result.horizon() << " slots, " << env.num_edges()
+      << " edges\n\n";
+
+  out << "Cost breakdown\n";
+  Table costs({"component", "total", "share"});
+  const double total = result.settled_total_cost();
+  auto share = [&](double v) {
+    return total != 0.0 ? 100.0 * v / total : 0.0;
+  };
+  const double settlement =
+      result.violation() * result.settlement_price;
+  costs.add_row("inference",
+                {result.total_inference_cost(),
+                 share(result.total_inference_cost())},
+                2);
+  costs.add_row("switching",
+                {result.total_switching_cost(),
+                 share(result.total_switching_cost())},
+                2);
+  costs.add_row("trading",
+                {result.total_trading_cost(),
+                 share(result.total_trading_cost())},
+                2);
+  costs.add_row("settlement", {settlement, share(settlement)}, 2);
+  costs.add_row("total", {total, 100.0}, 2);
+  out << costs.to_string() << "\n";
+
+  out << "Cumulative cost at horizon quarters\n";
+  const auto cumulative = result.cumulative_total_cost();
+  Table quarters({"t/T", "cumulative cost"});
+  for (int q = 1; q <= 4; ++q) {
+    const std::size_t t =
+        std::min(result.horizon() * q / 4, result.horizon()) - 1;
+    quarters.add_row(fmt(0.25 * q, 2), {cumulative[t]}, 2);
+  }
+  out << quarters.to_string() << "\n";
+
+  out << "Per-edge hosting (most-hosted vs hindsight best)\n";
+  Table edges({"edge", "most hosted", "slots", "hindsight best", "match"});
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < result.selection_counts.size(); ++i) {
+    const auto& counts = result.selection_counts[i];
+    std::size_t hosted = 0;
+    for (std::size_t n = 1; n < counts.size(); ++n)
+      if (counts[n] > counts[hosted]) hosted = n;
+    const std::size_t best = env.best_model(i);
+    matches += (hosted == best);
+    edges.add_row({std::to_string(i), env.models()[hosted].name,
+                   std::to_string(counts[hosted]), env.models()[best].name,
+                   hosted == best ? "yes" : "no"});
+  }
+  out << edges.to_string();
+  out << "  " << matches << "/" << result.selection_counts.size()
+      << " edges converged to the hindsight-best model\n\n";
+
+  out << "Trading\n";
+  Table trading({" ", "bought", "sold", "net", "unit cost", "emissions",
+                 "violation"});
+  trading.add_row("totals",
+                  {result.total_buys(), result.total_sells(),
+                   result.total_buys() - result.total_sells(),
+                   result.unit_purchase_cost(), result.total_emissions(),
+                   result.violation()},
+                  2);
+  out << trading.to_string();
+  return out.str();
+}
+
+}  // namespace cea::sim

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/environment.h"
+#include "sim/metrics.h"
+
+namespace cea::sim {
+
+/// Multi-algorithm comparison: one row per result with the full cost
+/// breakdown (inference / switching / trading / settlement), neutrality
+/// violation, trading statistics, switches, and accuracy. Rows are sorted
+/// by settled total cost.
+std::string comparison_report(const Environment& env,
+                              const std::vector<RunResult>& results);
+
+/// Single-run deep dive: scenario facts, cost breakdown, cumulative cost at
+/// horizon quarters, per-edge hosting summary (most-hosted model vs the
+/// hindsight best), and trading behaviour.
+std::string run_report(const Environment& env, const RunResult& result);
+
+}  // namespace cea::sim

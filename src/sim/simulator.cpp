@@ -1,0 +1,173 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace cea::sim {
+
+trading::TraderContext Simulator::trader_context(
+    std::uint64_t run_seed) const {
+  trading::TraderContext context;
+  context.horizon = env_.horizon();
+  context.carbon_cap = env_.config().carbon_cap;
+  context.max_trade_per_slot = env_.config().max_trade_per_slot;
+  context.seed = run_seed ^ 0x7E57ED5EEDULL;
+  return context;
+}
+
+bandit::PolicyContext Simulator::policy_context(std::size_t edge,
+                                                std::uint64_t run_seed) const {
+  bandit::PolicyContext context;
+  context.num_models = env_.num_models();
+  context.switching_cost = env_.switching_cost(edge);
+  context.energy_per_sample.reserve(env_.num_models());
+  for (const auto& model : env_.models())
+    context.energy_per_sample.push_back(model.energy_per_sample);
+  context.seed = run_seed * 0x9E3779B97F4A7C15ULL + edge + 1;
+  context.horizon = env_.horizon();
+  context.edge = edge;
+  return context;
+}
+
+RunResult Simulator::run(const bandit::PolicyFactory& policy_factory,
+                         const trading::TraderFactory& trader_factory,
+                         std::uint64_t run_seed,
+                         std::string algorithm_name) const {
+  std::vector<std::unique_ptr<bandit::ModelSelectionPolicy>> policies;
+  policies.reserve(env_.num_edges());
+  for (std::size_t i = 0; i < env_.num_edges(); ++i) {
+    policies.push_back(policy_factory(policy_context(i, run_seed)));
+  }
+  return run_impl(std::move(policies), trader_factory, run_seed,
+                  std::move(algorithm_name), /*fixed_choices=*/false,
+                  nullptr);
+}
+
+RunResult Simulator::run_fixed(const std::vector<std::size_t>& model_per_edge,
+                               const trading::TraderFactory& trader_factory,
+                               std::uint64_t run_seed,
+                               std::string algorithm_name) const {
+  assert(model_per_edge.size() == env_.num_edges());
+  return run_impl({}, trader_factory, run_seed, std::move(algorithm_name),
+                  /*fixed_choices=*/true, &model_per_edge);
+}
+
+RunResult Simulator::run_impl(
+    std::vector<std::unique_ptr<bandit::ModelSelectionPolicy>> policies,
+    const trading::TraderFactory& trader_factory, std::uint64_t run_seed,
+    std::string algorithm_name, bool fixed_choices,
+    const std::vector<std::size_t>* fixed_models) const {
+  const std::size_t horizon = env_.horizon();
+  const std::size_t num_edges = env_.num_edges();
+  const auto& config = env_.config();
+
+  auto trader = trader_factory(trader_context(run_seed));
+  Rng draw_rng(run_seed ^ 0xD1CE5EEDBEEFULL);
+
+  RunResult result;
+  result.algorithm = std::move(algorithm_name);
+  result.inference_cost.assign(horizon, 0.0);
+  result.switching_cost.assign(horizon, 0.0);
+  result.trading_cost.assign(horizon, 0.0);
+  result.emissions.assign(horizon, 0.0);
+  result.buys.assign(horizon, 0.0);
+  result.sells.assign(horizon, 0.0);
+  result.accuracy.assign(horizon, 0.0);
+  result.workload.assign(horizon, 0.0);
+  result.selection_counts.assign(
+      num_edges, std::vector<std::size_t>(env_.num_models(), 0));
+  result.carbon_cap = config.carbon_cap;
+  result.settlement_price = config.settlement_penalty_multiplier *
+                            env_.prices().buy.back();
+
+  std::vector<std::size_t> previous_model(num_edges, SIZE_MAX);
+  // Allowance balance R + sum(z - w - e); sales are clamped so it cannot go
+  // negative through selling (see SimConfig::clamp_sales_to_holdings).
+  double allowance_balance = config.carbon_cap;
+
+  for (std::size_t t = 0; t < horizon; ++t) {
+    const trading::TradeObservation quote{env_.prices().buy[t],
+                                          env_.prices().sell[t]};
+    trading::TradeDecision trade = trader->decide(t, quote);
+    if (config.clamp_sales_to_holdings) {
+      trade.sell = std::min(trade.sell,
+                            std::max(0.0, allowance_balance + trade.buy));
+    }
+
+    double slot_energy_kwh = 0.0;
+    double weighted_correct = 0.0;
+    double slot_samples = 0.0;
+
+    // Concept drift (SimConfig::loss_shift_slot): the loss distribution a
+    // hosted model produces flips to its mirror after the shift slot.
+    const bool shifted =
+        config.loss_shift_slot > 0 && t >= config.loss_shift_slot;
+
+    for (std::size_t i = 0; i < num_edges; ++i) {
+      const std::size_t model =
+          fixed_choices ? (*fixed_models)[i] : policies[i]->select(t);
+      const std::size_t loss_model =
+          shifted ? env_.shift_target(model) : model;
+      const ModelInfo& info = env_.models()[model];
+      const ModelInfo& loss_info = env_.models()[loss_model];
+      const bool switched = (model != previous_model[i]);
+      if (switched) {
+        result.switching_cost[t] += env_.switching_cost(i);
+        slot_energy_kwh += env_.transfer_energy(i, model);
+        ++result.total_switches;
+      }
+      previous_model[i] = model;
+      ++result.selection_counts[i][model];
+
+      const auto samples =
+          static_cast<std::size_t>(env_.workload()[i][t]);
+      const std::size_t draws =
+          config.loss_draw_cap == 0
+              ? samples
+              : std::min<std::size_t>(samples, config.loss_draw_cap);
+
+      double loss_sum = 0.0;
+      double correct = 0.0;
+      for (std::size_t d = 0; d < draws; ++d) {
+        const data::LossDraw draw = loss_info.profile.draw(draw_rng);
+        loss_sum += draw.loss;
+        correct += draw.correct ? 1.0 : 0.0;
+      }
+      const double mean_sampled_loss =
+          draws > 0 ? loss_sum / static_cast<double>(draws) : 0.0;
+      const double sample_accuracy =
+          draws > 0 ? correct / static_cast<double>(draws) : 0.0;
+
+      // Bandit feedback: L_{i,J}^t + v_{i,J} (Insight 2).
+      if (!fixed_choices) {
+        policies[i]->feedback(
+            t, model, mean_sampled_loss + env_.computation_cost(i, model));
+      }
+
+      // Objective (1) charges the expectation E[l_n] + v_{i,n}.
+      result.inference_cost[t] +=
+          loss_info.profile.mean_loss() + env_.computation_cost(i, model);
+
+      slot_energy_kwh +=
+          info.energy_per_sample * static_cast<double>(samples);
+      weighted_correct += sample_accuracy * static_cast<double>(samples);
+      slot_samples += static_cast<double>(samples);
+    }
+
+    const double emission = config.emission_rate * slot_energy_kwh;
+    allowance_balance += trade.buy - trade.sell - emission;
+    result.emissions[t] = emission;
+    result.buys[t] = trade.buy;
+    result.sells[t] = trade.sell;
+    result.trading_cost[t] = trade.cost(quote);
+    result.accuracy[t] =
+        slot_samples > 0.0 ? weighted_correct / slot_samples : 0.0;
+    result.workload[t] = slot_samples;
+
+    trader->feedback(t, emission, quote, trade);
+  }
+  return result;
+}
+
+}  // namespace cea::sim

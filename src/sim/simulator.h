@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bandit/policy.h"
+#include "sim/environment.h"
+#include "sim/metrics.h"
+#include "trading/trader.h"
+
+namespace cea::sim {
+
+/// Drives the per-slot workflow of Fig. 2 over a scenario: per edge select
+/// and (maybe) download a model, stream the slot's M_i^t samples through
+/// it, feed the bandit loss back, account energy/emissions, and execute the
+/// trading decision.
+///
+/// The simulator charges the objective (1) with the model's *expected* loss
+/// (profile mean) while the policies only ever observe sampled losses —
+/// mirroring the paper, where the objective is an expectation but feedback
+/// is a sample.
+class Simulator {
+ public:
+  explicit Simulator(const Environment& environment)
+      : env_(environment) {}
+
+  /// Run one full horizon with fresh policy instances.
+  /// `run_seed` controls the run's stochasticity (policy sampling and loss
+  /// draws) independently of the environment seed.
+  RunResult run(const bandit::PolicyFactory& policy_factory,
+                const trading::TraderFactory& trader_factory,
+                std::uint64_t run_seed, std::string algorithm_name) const;
+
+  /// Run with fixed per-edge model choices (no learning) — used by the
+  /// Offline reference and by ablations. Switching cost is charged once at
+  /// the first slot (the initial download).
+  RunResult run_fixed(const std::vector<std::size_t>& model_per_edge,
+                      const trading::TraderFactory& trader_factory,
+                      std::uint64_t run_seed,
+                      std::string algorithm_name) const;
+
+  /// Build the TraderContext the trading policies receive.
+  trading::TraderContext trader_context(std::uint64_t run_seed) const;
+
+  /// Build the PolicyContext for one edge.
+  bandit::PolicyContext policy_context(std::size_t edge,
+                                       std::uint64_t run_seed) const;
+
+ private:
+  RunResult run_impl(std::vector<std::unique_ptr<bandit::ModelSelectionPolicy>>
+                         policies,
+                     const trading::TraderFactory& trader_factory,
+                     std::uint64_t run_seed, std::string algorithm_name,
+                     bool fixed_choices,
+                     const std::vector<std::size_t>* fixed_models) const;
+
+  const Environment& env_;
+};
+
+}  // namespace cea::sim

@@ -1,0 +1,41 @@
+#include "trading/lyapunov_trader.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace cea::trading {
+
+LyapunovTrader::LyapunovTrader(const TraderContext& context,
+                               double v_parameter, double quantity)
+    : context_(context),
+      v_(v_parameter),
+      quantity_(std::min(quantity, context.max_trade_per_slot)) {}
+
+TradeDecision LyapunovTrader::decide(std::size_t /*t*/,
+                                     const TradeObservation& obs) {
+  TradeDecision decision;
+  // Drift-plus-penalty objective: V*(z c - w r) + Q*(-z + w).
+  // Coefficient of z is (V c - Q): buy at the box edge when negative.
+  if (queue_ > v_ * obs.buy_price) decision.buy = quantity_;
+  // Coefficient of w is (Q - V r): sell at the box edge when negative.
+  if (v_ * obs.sell_price > queue_) decision.sell = quantity_;
+  return decision;
+}
+
+void LyapunovTrader::feedback(std::size_t /*t*/, double emission,
+                              const TradeObservation& /*obs*/,
+                              const TradeDecision& executed) {
+  const double target = context_.carbon_cap /
+                        static_cast<double>(std::max<std::size_t>(
+                            context_.horizon, 1));
+  queue_ = std::max(
+      0.0, queue_ + emission - target - executed.buy + executed.sell);
+}
+
+TraderFactory LyapunovTrader::factory(double v_parameter, double quantity) {
+  return [v_parameter, quantity](const TraderContext& context) {
+    return std::make_unique<LyapunovTrader>(context, v_parameter, quantity);
+  };
+}
+
+}  // namespace cea::trading

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "trading/trader.h"
+
+namespace cea::trading {
+
+/// "Lyapunov" (LY) trading baseline of Section V-A: the drift-plus-penalty
+/// method of time-averaged stochastic optimization (Yang et al. 2022 and
+/// the virtual-queue literature the paper cites).
+///
+/// A virtual queue Q^t tracks the cumulative carbon-neutrality backlog:
+///   Q^{t+1} = [Q^t + e^t - R/T - z^t + w^t]^+ .
+/// Each slot minimizes V * (z c^t - w r^t) + Q^t * (-z + w) over the box
+/// [0, max_trade]^2, which is linear and solves to bang-bang decisions:
+/// buy everything when Q^t > V c^t, sell everything when V r^t > Q^t.
+class LyapunovTrader final : public TradingPolicy {
+ public:
+  /// `quantity` is the bang-bang trade size (the box radius of the
+  /// drift-plus-penalty step), clamped by the context's liquidity cap.
+  LyapunovTrader(const TraderContext& context, double v_parameter,
+                 double quantity);
+
+  TradeDecision decide(std::size_t t, const TradeObservation& obs) override;
+  void feedback(std::size_t t, double emission, const TradeObservation& obs,
+                const TradeDecision& executed) override;
+  std::string name() const override { return "LY"; }
+
+  double queue() const noexcept { return queue_; }
+
+  /// V trades off trading expense against queue (violation) backlog. The
+  /// default quantity is "the liquidity cap" (classic bang-bang drift-plus-
+  /// penalty); pass a smaller box to soften it.
+  static TraderFactory factory(double v_parameter = 2.0,
+                               double quantity = 1e9);
+
+ private:
+  TraderContext context_;
+  double v_;
+  double quantity_;
+  double queue_ = 0.0;
+};
+
+}  // namespace cea::trading

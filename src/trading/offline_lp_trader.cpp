@@ -1,0 +1,77 @@
+#include "trading/offline_lp_trader.h"
+
+#include <cassert>
+#include <memory>
+
+#include "opt/simplex.h"
+
+namespace cea::trading {
+
+OfflineTradingPlan solve_offline_trading(
+    const TraderContext& context, const std::vector<double>& buy_prices,
+    const std::vector<double>& sell_prices,
+    const std::vector<double>& emissions) {
+  const std::size_t horizon = emissions.size();
+  assert(buy_prices.size() == horizon && sell_prices.size() == horizon);
+
+  // Variables: z^0..z^{T-1}, w^0..w^{T-1}.
+  LpProblem problem;
+  problem.maximize = false;
+  problem.objective.resize(2 * horizon);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    problem.objective[t] = buy_prices[t];
+    problem.objective[horizon + t] = -sell_prices[t];
+  }
+
+  // Prefix neutrality: sum_{s<=d} (-z^s + w^s) <= R - sum_{s<=d} e^s.
+  double emission_prefix = 0.0;
+  for (std::size_t d = 0; d < horizon; ++d) {
+    emission_prefix += emissions[d];
+    LpConstraint con;
+    con.coeffs.assign(2 * horizon, 0.0);
+    for (std::size_t s = 0; s <= d; ++s) {
+      con.coeffs[s] = -1.0;
+      con.coeffs[horizon + s] = 1.0;
+    }
+    con.relation = Relation::kLessEqual;
+    con.rhs = context.carbon_cap - emission_prefix;
+    problem.constraints.push_back(std::move(con));
+  }
+  // Liquidity caps.
+  for (std::size_t v = 0; v < 2 * horizon; ++v) {
+    LpConstraint con;
+    con.coeffs.assign(2 * horizon, 0.0);
+    con.coeffs[v] = 1.0;
+    con.relation = Relation::kLessEqual;
+    con.rhs = context.max_trade_per_slot;
+    problem.constraints.push_back(std::move(con));
+  }
+
+  OfflineTradingPlan plan;
+  plan.buy.assign(horizon, 0.0);
+  plan.sell.assign(horizon, 0.0);
+  const LpSolution solution = solve_lp(problem, 200000);
+  if (solution.status != LpStatus::kOptimal) return plan;
+  plan.feasible = true;
+  plan.cost = solution.objective;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    plan.buy[t] = solution.x[t];
+    plan.sell[t] = solution.x[horizon + t];
+  }
+  return plan;
+}
+
+OfflineLpTrader::OfflineLpTrader(OfflineTradingPlan plan)
+    : plan_(std::move(plan)) {}
+
+TradeDecision OfflineLpTrader::decide(std::size_t t,
+                                      const TradeObservation& /*obs*/) {
+  if (t >= plan_.buy.size()) return {};
+  return {plan_.buy[t], plan_.sell[t]};
+}
+
+void OfflineLpTrader::feedback(std::size_t /*t*/, double /*emission*/,
+                               const TradeObservation& /*obs*/,
+                               const TradeDecision& /*executed*/) {}
+
+}  // namespace cea::trading

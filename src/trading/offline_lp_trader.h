@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "trading/trader.h"
+
+namespace cea::trading {
+
+/// Offline-optimal carbon trading: the trading half of the paper's
+/// "Offline" reference, which assumes all prices and emissions over the
+/// whole horizon are known in advance and solves the resulting linear
+/// program exactly (the paper uses Gurobi; we use the library's two-phase
+/// simplex solver).
+///
+/// LP (per DESIGN.md, with the per-slot liquidity cap that bounds the
+/// otherwise-unbounded buy-low/sell-high arbitrage):
+///   min   sum_t (c^t z^t - r^t w^t)
+///   s.t.  sum_{s<=d} e^s  <=  R + sum_{s<=d} (z^s - w^s)   for every d
+///         0 <= z^t, w^t <= max_trade_per_slot.
+struct OfflineTradingPlan {
+  std::vector<double> buy;
+  std::vector<double> sell;
+  double cost = 0.0;      ///< optimal objective value
+  bool feasible = false;  ///< LP solved to optimality
+};
+
+/// Solve the offline trading LP.
+OfflineTradingPlan solve_offline_trading(
+    const TraderContext& context, const std::vector<double>& buy_prices,
+    const std::vector<double>& sell_prices,
+    const std::vector<double>& emissions);
+
+/// TradingPolicy adapter replaying a precomputed plan slot by slot.
+class OfflineLpTrader final : public TradingPolicy {
+ public:
+  explicit OfflineLpTrader(OfflineTradingPlan plan);
+
+  TradeDecision decide(std::size_t t, const TradeObservation& obs) override;
+  void feedback(std::size_t t, double emission, const TradeObservation& obs,
+                const TradeDecision& executed) override;
+  std::string name() const override { return "OfflineLP"; }
+
+ private:
+  OfflineTradingPlan plan_;
+};
+
+}  // namespace cea::trading

@@ -1,0 +1,29 @@
+#include "trading/random_trader.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace cea::trading {
+
+RandomTrader::RandomTrader(const TraderContext& context, double max_quantity)
+    : context_(context),
+      max_quantity_(std::min(max_quantity, context.max_trade_per_slot)),
+      rng_(context.seed) {}
+
+TradeDecision RandomTrader::decide(std::size_t /*t*/,
+                                   const TradeObservation& /*obs*/) {
+  return {rng_.uniform(0.0, max_quantity_),
+          rng_.uniform(0.0, max_quantity_)};
+}
+
+void RandomTrader::feedback(std::size_t /*t*/, double /*emission*/,
+                            const TradeObservation& /*obs*/,
+                            const TradeDecision& /*executed*/) {}
+
+TraderFactory RandomTrader::factory(double max_quantity) {
+  return [max_quantity](const TraderContext& context) {
+    return std::make_unique<RandomTrader>(context, max_quantity);
+  };
+}
+
+}  // namespace cea::trading

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "trading/trader.h"
+#include "util/rng.h"
+
+namespace cea::trading {
+
+/// "Random" trading baseline of Section V-A: buys and sells uniformly
+/// random quantities in [0, max_trade_per_slot] every slot, ignoring prices
+/// and emissions.
+class RandomTrader final : public TradingPolicy {
+ public:
+  /// `max_quantity` bounds each random draw (further clamped by the
+  /// context's liquidity cap).
+  RandomTrader(const TraderContext& context, double max_quantity);
+
+  TradeDecision decide(std::size_t t, const TradeObservation& obs) override;
+  void feedback(std::size_t t, double emission, const TradeObservation& obs,
+                const TradeDecision& executed) override;
+  std::string name() const override { return "Ran"; }
+
+  static TraderFactory factory(double max_quantity = 3.0);
+
+ private:
+  TraderContext context_;
+  double max_quantity_;
+  Rng rng_;
+};
+
+}  // namespace cea::trading

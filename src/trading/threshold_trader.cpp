@@ -1,0 +1,37 @@
+#include "trading/threshold_trader.h"
+
+#include <memory>
+
+namespace cea::trading {
+
+ThresholdTrader::ThresholdTrader(const TraderContext& context,
+                                 double buy_below, double sell_above,
+                                 double quantity)
+    : context_(context),
+      buy_below_(buy_below),
+      sell_above_(sell_above),
+      quantity_(quantity) {}
+
+TradeDecision ThresholdTrader::decide(std::size_t /*t*/,
+                                      const TradeObservation& obs) {
+  TradeDecision decision;
+  if (obs.buy_price < buy_below_)
+    decision.buy = clamp_trade(quantity_, context_);
+  if (obs.sell_price > sell_above_)
+    decision.sell = clamp_trade(quantity_, context_);
+  return decision;
+}
+
+void ThresholdTrader::feedback(std::size_t /*t*/, double /*emission*/,
+                               const TradeObservation& /*obs*/,
+                               const TradeDecision& /*executed*/) {}
+
+TraderFactory ThresholdTrader::factory(double buy_below, double sell_above,
+                                       double quantity) {
+  return [=](const TraderContext& context) {
+    return std::make_unique<ThresholdTrader>(context, buy_below, sell_above,
+                                             quantity);
+  };
+}
+
+}  // namespace cea::trading

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "trading/trader.h"
+
+namespace cea::trading {
+
+/// "Threshold" (TH) trading baseline of Section V-A: buy a fixed quantity
+/// whenever the buying price drops below `buy_below`, sell a fixed quantity
+/// whenever the selling price rises above `sell_above`. Oblivious to the
+/// system's emissions and to the carbon cap.
+class ThresholdTrader final : public TradingPolicy {
+ public:
+  ThresholdTrader(const TraderContext& context, double buy_below,
+                  double sell_above, double quantity);
+
+  TradeDecision decide(std::size_t t, const TradeObservation& obs) override;
+  void feedback(std::size_t t, double emission, const TradeObservation& obs,
+                const TradeDecision& executed) override;
+  std::string name() const override { return "TH"; }
+
+  /// Defaults tuned to the EU-permit band [5.9, 10.9]: buy below 7.4
+  /// (cheap third of the band), sell above 8.1 (rich half of sell quotes).
+  static TraderFactory factory(double buy_below = 7.4,
+                               double sell_above = 8.1,
+                               double quantity = 2.0);
+
+ private:
+  TraderContext context_;
+  double buy_below_;
+  double sell_above_;
+  double quantity_;
+};
+
+}  // namespace cea::trading

@@ -1,0 +1,11 @@
+#include "trading/trader.h"
+
+#include <algorithm>
+
+namespace cea::trading {
+
+double clamp_trade(double quantity, const TraderContext& context) noexcept {
+  return std::clamp(quantity, 0.0, context.max_trade_per_slot);
+}
+
+}  // namespace cea::trading

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace cea::trading {
+
+/// Market quotes visible in the current time slot.
+struct TradeObservation {
+  double buy_price = 0.0;   ///< c^t, cents per allowance unit
+  double sell_price = 0.0;  ///< r^t, cents per allowance unit
+};
+
+/// Allowances to purchase (z^t) and sell (w^t) this slot.
+struct TradeDecision {
+  double buy = 0.0;
+  double sell = 0.0;
+
+  double net() const noexcept { return buy - sell; }
+  /// Trading expense: z^t c^t - w^t r^t.
+  double cost(const TradeObservation& obs) const noexcept {
+    return buy * obs.buy_price - sell * obs.sell_price;
+  }
+};
+
+/// Static information available to every trading policy.
+struct TraderContext {
+  std::size_t horizon = 160;        ///< T
+  double carbon_cap = 500.0;        ///< R, allowance units over the horizon
+  double max_trade_per_slot = 20.0; ///< liquidity cap on z^t and on w^t
+  std::uint64_t seed = 1;
+};
+
+/// Online carbon-allowance trading policy.
+///
+/// decide() runs at the start of slot t; the paper's Algorithm 2 only uses
+/// information up to t-1, while the baselines may look at the current quote
+/// in `obs` (as the paper's Threshold and Lyapunov baselines do). feedback()
+/// runs at the end of the slot with the realized system emission e^t.
+class TradingPolicy {
+ public:
+  virtual ~TradingPolicy() = default;
+
+  virtual TradeDecision decide(std::size_t t, const TradeObservation& obs) = 0;
+
+  virtual void feedback(std::size_t t, double emission,
+                        const TradeObservation& obs,
+                        const TradeDecision& executed) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using TraderFactory =
+    std::function<std::unique_ptr<TradingPolicy>(const TraderContext&)>;
+
+/// Clamp a raw quantity into the feasible [0, max_trade_per_slot] range.
+double clamp_trade(double quantity, const TraderContext& context) noexcept;
+
+}  // namespace cea::trading

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cea {
+
+/// Minimal CSV writer used by the benchmark harness to dump figure series.
+///
+/// Values containing commas, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(std::initializer_list<std::string_view> cells);
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: format doubles with full precision.
+  void write_row(std::string_view label, const std::vector<double>& values);
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+};
+
+/// Escape a single CSV cell (exposed for testing).
+std::string csv_escape(std::string_view cell);
+
+}  // namespace cea

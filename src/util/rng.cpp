@@ -1,0 +1,122 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace cea {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::split() noexcept { return Rng((*this)() ^ 0xA02BDBF7BB3C0A7ULL); }
+
+double Rng::uniform() noexcept {
+  // 53-bit mantissa from the top bits.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % range;
+  std::uint64_t v = (*this)();
+  while (v >= limit) v = (*this)();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::int64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double v = normal(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<std::int64_t>(std::llround(v));
+  }
+  const double threshold = std::exp(-mean);
+  std::int64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > threshold);
+  return k - 1;
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return weights.size() - 1;
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j =
+        static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+}  // namespace cea

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cea {
+
+/// Deterministic, seedable pseudo-random number generator.
+///
+/// Implements xoshiro256** seeded through splitmix64. Every stochastic
+/// component in the library draws from an explicitly passed Rng so that a
+/// whole simulation is reproducible from a single seed. The generator is
+/// cheap to copy; independent streams are derived with split().
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit word.
+  result_type operator()() noexcept;
+
+  /// Derive an independent child stream; advances this stream once.
+  Rng split() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Poisson-distributed count with the given mean (mean >= 0).
+  /// Uses Knuth's method for small means and normal approximation above 64.
+  std::int64_t poisson(double mean) noexcept;
+
+  /// Sample an index from an (unnormalized, nonnegative) weight vector.
+  /// Returns weights.size()-1 on degenerate all-zero input. Requires
+  /// a nonempty span.
+  std::size_t categorical(std::span<const double> weights) noexcept;
+
+  /// Random permutation of {0, ..., n-1} (Fisher-Yates).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cea

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cea {
+
+/// Numerically stable running mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponential moving average with configurable smoothing factor.
+class Ema {
+ public:
+  explicit Ema(double alpha) noexcept : alpha_(alpha) {}
+  void add(double x) noexcept;
+  double value() const noexcept { return value_; }
+  bool empty() const noexcept { return !seeded_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Mean of a sequence; 0 for an empty span.
+double mean_of(std::span<const double> xs) noexcept;
+
+/// Unbiased sample standard deviation; 0 for fewer than two values.
+double stddev_of(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile (q in [0,1]) of an unsorted sequence.
+/// Copies and sorts internally; 0 for an empty span.
+double percentile_of(std::span<const double> xs, double q);
+
+/// Cumulative sums: out[i] = xs[0] + ... + xs[i].
+std::vector<double> cumulative_sum(std::span<const double> xs);
+
+/// Pearson correlation of two equal-length sequences; 0 if degenerate.
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+}  // namespace cea

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cea {
+
+/// Aligned console table used by the benchmark binaries to print the same
+/// rows/series the paper's figures report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, the rest formatted doubles.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 4);
+
+  /// Render with column alignment and a separator under the header.
+  std::string to_string() const;
+
+  /// Print to stdout.
+  void print() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared by bench binaries).
+std::string fmt(double v, int precision = 4);
+
+}  // namespace cea

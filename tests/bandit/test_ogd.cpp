@@ -1,0 +1,71 @@
+#include "bandit/ogd_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace cea::bandit {
+namespace {
+
+PolicyContext make_context(std::size_t num_models, std::uint64_t seed = 1) {
+  PolicyContext context;
+  context.num_models = num_models;
+  context.seed = seed;
+  return context;
+}
+
+TEST(Ogd, ProbabilitiesStayOnSimplex) {
+  OgdPolicy policy(make_context(4, 3), 0.5, 0.05);
+  Rng noise(5);
+  for (std::size_t t = 0; t < 500; ++t) {
+    const auto arm = policy.select(t);
+    policy.feedback(t, arm, noise.uniform(0.0, 1.5));
+    double total = 0.0;
+    for (double p : policy.probabilities()) {
+      ASSERT_GE(p, -1e-12);
+      total += p;
+    }
+    ASSERT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Ogd, ConcentratesOnBestArm) {
+  OgdPolicy policy(make_context(3, 7), 0.5, 0.05);
+  Rng noise(9);
+  std::vector<int> late(3, 0);
+  for (std::size_t t = 0; t < 4000; ++t) {
+    const auto arm = policy.select(t);
+    policy.feedback(t, arm,
+                    (arm == 1 ? 0.2 : 0.8) + noise.uniform(-0.05, 0.05));
+    if (t >= 3000) ++late[arm];
+  }
+  EXPECT_GT(late[1], late[0]);
+  EXPECT_GT(late[1], late[2]);
+}
+
+TEST(Ogd, ExplorationFloorKeepsAllArmsAlive) {
+  OgdPolicy policy(make_context(3, 11), 2.0, 0.2);
+  // Hammer arm 0 into the corner, then check others still get sampled.
+  for (std::size_t t = 0; t < 200; ++t) {
+    const auto arm = policy.select(t);
+    policy.feedback(t, arm, arm == 0 ? 0.0 : 1.5);
+  }
+  std::vector<int> counts(3, 0);
+  for (std::size_t t = 200; t < 2200; ++t) {
+    const auto arm = policy.select(t);
+    ++counts[arm];
+    policy.feedback(t, arm, arm == 0 ? 0.0 : 1.5);
+  }
+  EXPECT_GT(counts[1] + counts[2], 50);
+}
+
+TEST(Ogd, FactoryWorks) {
+  auto policy = OgdPolicy::factory()(make_context(5, 13));
+  for (std::size_t t = 0; t < 20; ++t) {
+    const auto arm = policy->select(t);
+    ASSERT_LT(arm, 5u);
+    policy->feedback(t, arm, 0.5);
+  }
+  EXPECT_EQ(policy->name(), "OGD");
+}
+
+}  // namespace
+}  // namespace cea::bandit

@@ -1,0 +1,95 @@
+#include "core/block_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cea::core {
+namespace {
+
+TEST(BlockSchedule, FormulaMatchesTheorem1) {
+  const double u = 2.0;
+  const std::size_t n = 6;
+  BlockSchedule schedule(u, n);
+  for (std::size_t k : {1u, 2u, 5u, 10u, 100u}) {
+    const double d = 1.5 * u * std::sqrt(static_cast<double>(k) / n);
+    EXPECT_NEAR(schedule.block_real_length(k), d, 1e-12);
+    EXPECT_EQ(schedule.block_length(k),
+              static_cast<std::size_t>(std::max(std::ceil(d), 1.0)));
+    EXPECT_NEAR(schedule.learning_rate(k),
+                2.0 / (d + 1.0) * std::sqrt(2.0 / k), 1e-12);
+  }
+}
+
+TEST(BlockSchedule, BlocksGrow) {
+  BlockSchedule schedule(1.5, 6);
+  EXPECT_LE(schedule.block_length(1), schedule.block_length(10));
+  EXPECT_LT(schedule.block_length(10), schedule.block_length(1000));
+}
+
+TEST(BlockSchedule, LearningRatesDecay) {
+  BlockSchedule schedule(1.5, 6);
+  double prev = schedule.learning_rate(1);
+  for (std::size_t k = 2; k < 50; ++k) {
+    const double eta = schedule.learning_rate(k);
+    EXPECT_LE(eta, prev + 1e-15);
+    prev = eta;
+  }
+}
+
+TEST(BlockSchedule, MinimumBlockLengthIsOne) {
+  // Tiny switching cost: every block collapses to a single slot.
+  BlockSchedule schedule(1e-6, 6);
+  for (std::size_t k = 1; k < 20; ++k)
+    EXPECT_EQ(schedule.block_length(k), 1u);
+}
+
+TEST(BlockSchedule, HigherSwitchingCostLongerBlocks) {
+  BlockSchedule cheap(0.5, 6), expensive(5.0, 6);
+  EXPECT_LE(cheap.block_length(10), expensive.block_length(10));
+  EXPECT_LT(cheap.block_length(100), expensive.block_length(100));
+}
+
+TEST(BlockSchedule, MoreModelsShorterBlocks) {
+  BlockSchedule few(2.0, 2), many(2.0, 32);
+  EXPECT_GE(few.block_length(50), many.block_length(50));
+}
+
+TEST(BlockSchedule, BlocksCoverHorizonExactlyOrMore) {
+  BlockSchedule schedule(2.0, 6);
+  const std::size_t horizon = 160;
+  const std::size_t blocks = schedule.blocks_for_horizon(horizon);
+  std::size_t covered = 0;
+  for (std::size_t k = 1; k <= blocks; ++k) covered += schedule.block_length(k);
+  EXPECT_GE(covered, horizon);
+  // One fewer block must not cover it.
+  EXPECT_LT(covered - schedule.block_length(blocks), horizon);
+}
+
+TEST(BlockSchedule, BlockCountWithinTheorem1Bound) {
+  for (double u : {0.5, 1.0, 2.5, 5.0}) {
+    for (std::size_t horizon : {100u, 500u, 2000u}) {
+      BlockSchedule schedule(u, 6);
+      EXPECT_LE(static_cast<double>(schedule.blocks_for_horizon(horizon)),
+                schedule.block_count_bound(horizon) + 1.0)
+          << "u=" << u << " T=" << horizon;
+    }
+  }
+}
+
+TEST(BlockSchedule, SwitchCountSubLinearInHorizon) {
+  BlockSchedule schedule(2.0, 6);
+  const double k1 = static_cast<double>(schedule.blocks_for_horizon(1000));
+  const double k2 = static_cast<double>(schedule.blocks_for_horizon(8000));
+  // T^{2/3} growth: 8x horizon -> at most 4x blocks (plus slack).
+  EXPECT_LT(k2, 4.5 * k1);
+}
+
+TEST(BlockSchedule, ClampsNonPositiveSwitchingCost) {
+  BlockSchedule schedule(0.0, 6);
+  EXPECT_GT(schedule.switching_cost(), 0.0);
+  EXPECT_GE(schedule.block_length(1), 1u);
+}
+
+}  // namespace
+}  // namespace cea::core

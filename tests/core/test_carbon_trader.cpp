@@ -1,0 +1,134 @@
+#include "core/carbon_trader.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cea::core {
+namespace {
+
+trading::TraderContext make_context() {
+  trading::TraderContext context;
+  context.horizon = 125;  // cube root = 5, convenient
+  context.carbon_cap = 250.0;
+  context.max_trade_per_slot = 10.0;
+  return context;
+}
+
+TEST(OnlineCarbonTrader, StepSizesScaleAsTMinusThird) {
+  OnlineTraderConfig config;
+  config.gamma1_scale = 1.0;
+  config.gamma2_scale = 40.0;
+  OnlineCarbonTrader trader(make_context(), config);
+  EXPECT_NEAR(trader.gamma1(), 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(trader.gamma2(), 40.0 / 5.0, 1e-12);
+}
+
+TEST(OnlineCarbonTrader, FirstSlotReturnsInitialDecision) {
+  OnlineTraderConfig config;
+  config.initial_buy = 1.5;
+  config.initial_sell = 0.5;
+  OnlineCarbonTrader trader(make_context(), config);
+  const auto d = trader.decide(0, {8.0, 7.2});
+  EXPECT_DOUBLE_EQ(d.buy, 1.5);
+  EXPECT_DOUBLE_EQ(d.sell, 0.5);
+}
+
+TEST(OnlineCarbonTrader, DualAscentMatchesEquationFive) {
+  OnlineCarbonTrader trader(make_context(), {});
+  const trading::TradeObservation obs{8.0, 7.2};
+  // cap share = 250/125 = 2. g = e - 2 - z + w.
+  trader.feedback(0, 5.0, obs, {1.0, 0.0});
+  // lambda = max(0, 0 + gamma1 * (5 - 2 - 1)) = gamma1 * 2.
+  EXPECT_NEAR(trader.lambda(), trader.gamma1() * 2.0, 1e-12);
+}
+
+TEST(OnlineCarbonTrader, LambdaStaysNonNegative) {
+  OnlineCarbonTrader trader(make_context(), {});
+  const trading::TradeObservation obs{8.0, 7.2};
+  trader.feedback(0, 0.0, obs, {0.0, 0.0});  // g = -2 < 0
+  EXPECT_DOUBLE_EQ(trader.lambda(), 0.0);
+}
+
+TEST(OnlineCarbonTrader, PrimalStepMatchesClosedForm) {
+  OnlineTraderConfig config;
+  config.gamma2_scale = 10.0;  // gamma2 = 2
+  OnlineCarbonTrader trader(make_context(), config);
+  const trading::TradeObservation obs{6.0, 5.4};
+  // Build history: emission 4 -> g = 4 - 2 = 2, lambda = gamma1*2 = 0.4.
+  trader.feedback(0, 4.0, obs, {0.0, 0.0});
+  const double lambda = trader.lambda();
+  const auto d = trader.decide(1, {9.0, 8.1});
+  // z = clamp(0 + 2*(lambda - 6), 0, 10) = 0 since lambda << 6.
+  EXPECT_DOUBLE_EQ(d.buy, 0.0);
+  // w = clamp(0 + 2*(5.4 - lambda), 0, 10) = 2*(5.4-lambda).
+  EXPECT_NEAR(d.sell, 2.0 * (5.4 - lambda), 1e-12);
+}
+
+TEST(OnlineCarbonTrader, BuysWhenDualPressureExceedsPrice) {
+  OnlineTraderConfig config;
+  config.gamma1_scale = 50.0;  // aggressive dual so lambda rises fast
+  config.gamma2_scale = 10.0;
+  OnlineCarbonTrader trader(make_context(), config);
+  const trading::TradeObservation obs{6.0, 5.4};
+  for (std::size_t t = 0; t < 20; ++t) {
+    const auto d = trader.decide(t, obs);
+    trader.feedback(t, 8.0, obs, d);  // persistent over-emission
+  }
+  EXPECT_GT(trader.lambda(), 6.0);
+  const auto d = trader.decide(20, obs);
+  EXPECT_GT(d.buy, 0.0);
+}
+
+TEST(OnlineCarbonTrader, DecisionsRespectLiquidityBox) {
+  OnlineTraderConfig config;
+  config.gamma1_scale = 100.0;
+  config.gamma2_scale = 500.0;
+  OnlineCarbonTrader trader(make_context(), config);
+  const trading::TradeObservation obs{6.0, 5.4};
+  for (std::size_t t = 0; t < 50; ++t) {
+    const auto d = trader.decide(t, obs);
+    EXPECT_GE(d.buy, 0.0);
+    EXPECT_LE(d.buy, 10.0);
+    EXPECT_GE(d.sell, 0.0);
+    EXPECT_LE(d.sell, 10.0);
+    trader.feedback(t, 8.0, obs, d);
+  }
+}
+
+TEST(OnlineCarbonTrader, UsesOnlyPastPrices) {
+  // Two traders seeing different *current* quotes but identical history
+  // must decide identically: Algorithm 2 never reads the time-t quote.
+  OnlineCarbonTrader a(make_context(), {});
+  OnlineCarbonTrader b(make_context(), {});
+  const trading::TradeObservation history{7.0, 6.3};
+  a.feedback(0, 4.0, history, {1.0, 0.0});
+  b.feedback(0, 4.0, history, {1.0, 0.0});
+  const auto da = a.decide(1, {5.9, 5.31});
+  const auto db = b.decide(1, {10.9, 9.81});
+  EXPECT_DOUBLE_EQ(da.buy, db.buy);
+  EXPECT_DOUBLE_EQ(da.sell, db.sell);
+}
+
+TEST(OnlineCarbonTrader, LongRunCoversEmissions) {
+  // Stationary emissions above the cap share: over a long horizon the
+  // cumulative net purchase must approach the cumulative uncovered
+  // emission (fit vanishing in time-average).
+  trading::TraderContext context;
+  context.horizon = 1000;
+  context.carbon_cap = 1000.0;  // share 1/slot
+  context.max_trade_per_slot = 10.0;
+  OnlineCarbonTrader trader(context, {});
+  const trading::TradeObservation obs{8.0, 7.2};
+  double net = 0.0, uncovered = 0.0;
+  for (std::size_t t = 0; t < context.horizon; ++t) {
+    const auto d = trader.decide(t, obs);
+    trader.feedback(t, 3.0, obs, d);
+    net += d.buy - d.sell;
+    uncovered += 3.0 - 1.0;
+  }
+  EXPECT_NEAR(net / uncovered, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace cea::core

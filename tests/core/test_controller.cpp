@@ -1,0 +1,77 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cea::core {
+namespace {
+
+CarbonNeutralController make_controller(std::size_t edges,
+                                        std::size_t models) {
+  std::vector<bandit::PolicyContext> contexts(edges);
+  for (std::size_t i = 0; i < edges; ++i) {
+    contexts[i].num_models = models;
+    contexts[i].switching_cost = 1.0 + 0.2 * static_cast<double>(i);
+    contexts[i].seed = 100 + i;
+  }
+  trading::TraderContext trader_context;
+  trader_context.horizon = 160;
+  trader_context.carbon_cap = 500.0;
+  trader_context.max_trade_per_slot = 20.0;
+  return CarbonNeutralController(std::move(contexts), trader_context);
+}
+
+TEST(Controller, SelectsOneModelPerEdge) {
+  auto controller = make_controller(5, 6);
+  const auto models = controller.select_models(0);
+  ASSERT_EQ(models.size(), 5u);
+  for (auto m : models) EXPECT_LT(m, 6u);
+}
+
+TEST(Controller, FullSlotProtocolRuns) {
+  auto controller = make_controller(3, 4);
+  Rng noise(5);
+  for (std::size_t t = 0; t < 50; ++t) {
+    const auto models = controller.select_models(t);
+    const trading::TradeObservation quote{8.0, 7.2};
+    const auto trade = controller.decide_trade(t, quote);
+    EXPECT_GE(trade.buy, 0.0);
+    EXPECT_GE(trade.sell, 0.0);
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      controller.report_inference(t, i, models[i],
+                                  0.5 + noise.uniform(-0.1, 0.1));
+    }
+    controller.report_slot(t, 4.0, quote, trade);
+  }
+  EXPECT_GE(controller.trader().lambda(), 0.0);
+}
+
+TEST(Controller, EdgesLearnIndependently) {
+  auto controller = make_controller(2, 3);
+  // Edge 0: arm 0 best. Edge 1: arm 2 best.
+  std::vector<std::vector<int>> late_counts(2, std::vector<int>(3, 0));
+  const std::size_t horizon = 4000;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    const auto models = controller.select_models(t);
+    for (std::size_t i = 0; i < 2; ++i) {
+      const std::size_t best = (i == 0) ? 0u : 2u;
+      const double loss = models[i] == best ? 0.2 : 0.9;
+      controller.report_inference(t, i, models[i], loss);
+      if (t > horizon / 2) ++late_counts[i][models[i]];
+    }
+    controller.report_slot(t, 3.0, {8.0, 7.2}, {0.0, 0.0});
+  }
+  EXPECT_GT(late_counts[0][0], late_counts[0][1] + late_counts[0][2]);
+  EXPECT_GT(late_counts[1][2], late_counts[1][0] + late_counts[1][1]);
+}
+
+TEST(Controller, ExposesEdgePolicies) {
+  auto controller = make_controller(2, 4);
+  EXPECT_EQ(controller.num_edges(), 2u);
+  controller.select_models(0);
+  EXPECT_EQ(controller.edge_policy(0).current_probabilities().size(), 4u);
+}
+
+}  // namespace
+}  // namespace cea::core

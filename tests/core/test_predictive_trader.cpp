@@ -1,0 +1,121 @@
+#include "core/predictive_trader.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/price_predictor.h"
+#include "util/rng.h"
+
+namespace cea::core {
+namespace {
+
+TEST(Ar1Predictor, RecoversDeterministicAr1) {
+  Ar1PricePredictor predictor(1.0);
+  // p_{t+1} = 0.8 p_t + 1.6 around fixed point 8.
+  double p = 5.0;
+  for (int i = 0; i < 200; ++i) {
+    predictor.observe(p);
+    p = 0.8 * p + 1.6;
+  }
+  EXPECT_NEAR(predictor.slope(), 0.8, 0.05);
+  EXPECT_NEAR(predictor.intercept(), 1.6, 0.4);
+}
+
+TEST(Ar1Predictor, PredictsNextOfDeterministicSeries) {
+  Ar1PricePredictor predictor(1.0);
+  double p = 10.0;
+  for (int i = 0; i < 100; ++i) {
+    predictor.observe(p);
+    p = 0.9 * p + 0.8;
+  }
+  EXPECT_NEAR(predictor.predict_next(), p, 0.05);
+}
+
+TEST(Ar1Predictor, FallsBackToLastPriceEarly) {
+  Ar1PricePredictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict_next(), 0.0);
+  predictor.observe(7.5);
+  EXPECT_DOUBLE_EQ(predictor.predict_next(), 7.5);
+}
+
+TEST(Ar1Predictor, BeatsLastPriceOnMeanRevertingWalk) {
+  // On a mean-reverting process the AR(1) forecast should have lower
+  // squared error than the naive last-price forecast.
+  Rng rng(3);
+  Ar1PricePredictor predictor(0.995);
+  double p = 8.0;
+  double ar_error = 0.0, naive_error = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    const double ar_forecast = predictor.predict_next();
+    const double naive_forecast = p;
+    const double next = p + 0.2 * (8.4 - p) + rng.normal(0.0, 0.3);
+    if (i > 100) {  // after burn-in
+      ar_error += (ar_forecast - next) * (ar_forecast - next);
+      naive_error += (naive_forecast - next) * (naive_forecast - next);
+    }
+    predictor.observe(next);
+    p = next;
+  }
+  EXPECT_LT(ar_error, naive_error);
+}
+
+trading::TraderContext make_context() {
+  trading::TraderContext context;
+  context.horizon = 125;
+  context.carbon_cap = 250.0;
+  context.max_trade_per_slot = 10.0;
+  return context;
+}
+
+TEST(PredictiveTrader, RespectsLiquidityBox) {
+  PredictiveCarbonTrader trader(make_context(), {});
+  Rng rng(5);
+  for (std::size_t t = 0; t < 100; ++t) {
+    const trading::TradeObservation obs{rng.uniform(5.9, 10.9), 0.0};
+    const auto d = trader.decide(t, obs);
+    EXPECT_GE(d.buy, 0.0);
+    EXPECT_LE(d.buy, 10.0);
+    EXPECT_GE(d.sell, 0.0);
+    EXPECT_LE(d.sell, 10.0);
+    trader.feedback(t, 4.0, {obs.buy_price, 0.9 * obs.buy_price}, d);
+  }
+  EXPECT_GE(trader.lambda(), 0.0);
+}
+
+TEST(PredictiveTrader, DualMatchesBaseAlgorithm) {
+  // The dual ascent is identical to Algorithm 2's.
+  PredictiveCarbonTrader predictive(make_context(), {});
+  OnlineCarbonTrader base(make_context(), {});
+  const trading::TradeObservation obs{8.0, 7.2};
+  predictive.feedback(0, 5.0, obs, {1.0, 0.0});
+  base.feedback(0, 5.0, obs, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(predictive.lambda(), base.lambda());
+}
+
+TEST(PredictiveTrader, CoversPersistentDeficitLongRun) {
+  trading::TraderContext context;
+  context.horizon = 1000;
+  context.carbon_cap = 1000.0;
+  context.max_trade_per_slot = 10.0;
+  PredictiveCarbonTrader trader(context, {});
+  const trading::TradeObservation obs{8.0, 7.2};
+  double net = 0.0;
+  for (std::size_t t = 0; t < context.horizon; ++t) {
+    const auto d = trader.decide(t, obs);
+    trader.feedback(t, 3.0, obs, d);
+    net += d.buy - d.sell;
+  }
+  const double uncovered = (3.0 - 1.0) * 1000.0;
+  EXPECT_NEAR(net / uncovered, 1.0, 0.15);
+}
+
+TEST(PredictiveTrader, FactoryWorks) {
+  auto trader = PredictiveCarbonTrader::factory()(make_context());
+  EXPECT_EQ(trader->name(), "PredictivePD");
+  const auto d = trader->decide(0, {8.0, 7.2});
+  EXPECT_DOUBLE_EQ(d.buy, 0.0);
+}
+
+}  // namespace
+}  // namespace cea::core

@@ -1,0 +1,102 @@
+#include "core/regret.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cea::core {
+namespace {
+
+TEST(Fit, ZeroWhenFullyCovered) {
+  const std::vector<double> emissions = {2.0, 2.0};
+  const std::vector<double> buys = {0.0, 0.0};
+  const std::vector<double> sells = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(fit(emissions, buys, sells, 10.0), 0.0);
+}
+
+TEST(Fit, PositiveViolationMeasured) {
+  const std::vector<double> emissions = {6.0, 6.0};
+  const std::vector<double> buys = {1.0, 1.0};
+  const std::vector<double> sells = {0.0, 0.0};
+  // 12 emitted, cap 5 + bought 2 => violation 5.
+  EXPECT_DOUBLE_EQ(fit(emissions, buys, sells, 5.0), 5.0);
+}
+
+TEST(Fit, SellingIncreasesViolation) {
+  const std::vector<double> emissions = {3.0};
+  const std::vector<double> buys = {0.0};
+  const std::vector<double> sells = {2.0};
+  EXPECT_DOUBLE_EQ(fit(emissions, buys, sells, 3.0), 2.0);
+}
+
+TEST(FitSeries, MonotoneAccumulationWithProratedCap) {
+  const std::vector<double> emissions = {4.0, 4.0, 4.0, 4.0};
+  const std::vector<double> zeros(4, 0.0);
+  const auto series = fit_series(emissions, zeros, zeros, 8.0);
+  // cap share 2/slot: violation grows by 2 each slot.
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_DOUBLE_EQ(series[0], 2.0);
+  EXPECT_DOUBLE_EQ(series[3], 8.0);
+}
+
+TEST(FitSeries, ClampedAtZero) {
+  const std::vector<double> emissions = {1.0, 1.0};
+  const std::vector<double> zeros(2, 0.0);
+  const auto series = fit_series(emissions, zeros, zeros, 100.0);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_DOUBLE_EQ(series[1], 0.0);
+}
+
+TEST(OneShotOptimum, BuysExactDeficit) {
+  // emission 5, share 2 -> buy 3 at price 7.
+  EXPECT_DOUBLE_EQ(one_shot_trading_optimum(5.0, 2.0, 7.0, 6.3, 10.0),
+                   21.0);
+}
+
+TEST(OneShotOptimum, DeficitCappedByLiquidity) {
+  EXPECT_DOUBLE_EQ(one_shot_trading_optimum(15.0, 2.0, 7.0, 6.3, 10.0),
+                   70.0);
+}
+
+TEST(OneShotOptimum, SellsSurplus) {
+  // emission 1, share 4 -> sell 3 at 6.3 => revenue 18.9.
+  EXPECT_NEAR(one_shot_trading_optimum(1.0, 4.0, 7.0, 6.3, 10.0), -18.9,
+              1e-12);
+}
+
+TEST(TradingRegretSeries, ZeroForOptimalPlay) {
+  const std::vector<double> emissions = {5.0, 5.0};
+  const std::vector<double> buys = {3.0, 3.0};  // exactly the deficit
+  const std::vector<double> sells = {0.0, 0.0};
+  const std::vector<double> buy_prices = {7.0, 7.0};
+  const std::vector<double> sell_prices = {6.3, 6.3};
+  const auto series = trading_regret_series(
+      emissions, buys, sells, buy_prices, sell_prices, 4.0, 10.0);
+  EXPECT_NEAR(series.back(), 0.0, 1e-12);
+}
+
+TEST(TradingRegretSeries, PositiveForOverbuying) {
+  const std::vector<double> emissions = {5.0};
+  const std::vector<double> buys = {8.0};  // 5 more than needed
+  const std::vector<double> sells = {0.0};
+  const std::vector<double> buy_prices = {7.0};
+  const std::vector<double> sell_prices = {6.3};
+  const auto series = trading_regret_series(
+      emissions, buys, sells, buy_prices, sell_prices, 2.0, 10.0);
+  EXPECT_NEAR(series[0], 5.0 * 7.0, 1e-12);
+}
+
+TEST(TradingRegretSeries, Accumulates) {
+  const std::vector<double> emissions = {5.0, 5.0};
+  const std::vector<double> buys = {4.0, 4.0};
+  const std::vector<double> sells = {0.0, 0.0};
+  const std::vector<double> buy_prices = {7.0, 8.0};
+  const std::vector<double> sell_prices = {6.3, 7.2};
+  const auto series = trading_regret_series(
+      emissions, buys, sells, buy_prices, sell_prices, 4.0, 10.0);
+  EXPECT_NEAR(series[0], 7.0, 1e-12);          // bought 1 extra at 7
+  EXPECT_NEAR(series[1], 7.0 + 8.0, 1e-12);    // plus 1 extra at 8
+}
+
+}  // namespace
+}  // namespace cea::core

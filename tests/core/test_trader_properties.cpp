@@ -1,0 +1,99 @@
+// Parameterized property tests for Algorithm 2 across step-size scales,
+// caps, and emission regimes: decisions stay in the liquidity box, the dual
+// stays non-negative, and long-run coverage holds whenever the deficit is
+// within per-slot liquidity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/carbon_trader.h"
+#include "util/rng.h"
+
+namespace cea::core {
+namespace {
+
+struct TraderCase {
+  double gamma1_scale;
+  double gamma2_scale;
+  double cap_share;    // R/T per slot
+  double emission;     // constant per-slot emission
+  double max_trade;
+};
+
+class TraderProperties : public ::testing::TestWithParam<TraderCase> {};
+
+TEST_P(TraderProperties, InvariantsHoldOverNoisyPrices) {
+  const auto& param = GetParam();
+  trading::TraderContext context;
+  context.horizon = 600;
+  context.carbon_cap = param.cap_share * 600.0;
+  context.max_trade_per_slot = param.max_trade;
+
+  OnlineTraderConfig config;
+  config.gamma1_scale = param.gamma1_scale;
+  config.gamma2_scale = param.gamma2_scale;
+  OnlineCarbonTrader trader(context, config);
+
+  Rng rng(17);
+  double net = 0.0;
+  double lambda_max = 0.0;
+  for (std::size_t t = 0; t < context.horizon; ++t) {
+    const double buy = rng.uniform(5.9, 10.9);
+    const trading::TradeObservation obs{buy, 0.9 * buy};
+    const auto d = trader.decide(t, obs);
+    // Box invariant.
+    ASSERT_GE(d.buy, 0.0);
+    ASSERT_LE(d.buy, param.max_trade + 1e-12);
+    ASSERT_GE(d.sell, 0.0);
+    ASSERT_LE(d.sell, param.max_trade + 1e-12);
+    trader.feedback(t, param.emission, obs, d);
+    // Dual invariant.
+    ASSERT_GE(trader.lambda(), 0.0);
+    lambda_max = std::max(lambda_max, trader.lambda());
+    net += d.buy - d.sell;
+  }
+
+  // The dual should stay bounded: it is pinned near prices in deficit
+  // regimes and near zero in surplus regimes.
+  EXPECT_LT(lambda_max, 200.0);
+
+  const double deficit_per_slot = param.emission - param.cap_share;
+  if (deficit_per_slot > 0.0 && deficit_per_slot < param.max_trade * 0.8) {
+    // Coverage: cumulative net purchase approaches cumulative deficit.
+    const double uncovered = deficit_per_slot * 600.0;
+    EXPECT_NEAR(net / uncovered, 1.0, 0.3) << "deficit regime";
+  }
+  if (deficit_per_slot < -0.5) {
+    // Surplus: no significant net accumulation of allowances.
+    EXPECT_LT(net, 0.25 * 600.0 * std::abs(deficit_per_slot) + 50.0)
+        << "surplus regime";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TraderProperties,
+    ::testing::Values(
+        TraderCase{1.0, 10.0, 2.0, 4.0, 10.0},    // moderate deficit
+        TraderCase{2.0, 10.0, 2.0, 4.0, 10.0},    // faster dual
+        TraderCase{4.0, 5.0, 2.0, 4.0, 10.0},     // aggressive dual
+        TraderCase{2.0, 40.0, 2.0, 4.0, 10.0},    // aggressive primal
+        TraderCase{2.0, 10.0, 4.0, 1.0, 10.0},    // surplus regime
+        TraderCase{2.0, 10.0, 1.0, 8.0, 10.0},    // heavy deficit
+        TraderCase{2.0, 10.0, 2.0, 4.0, 3.0},     // tight liquidity
+        TraderCase{0.5, 2.0, 2.0, 4.0, 25.0}),    // slow steps, deep box
+    [](const ::testing::TestParamInfo<TraderCase>& info) {
+      const auto& c = info.param;
+      auto f = [](double v) {
+        std::string s = std::to_string(v);
+        for (auto& ch : s)
+          if (ch == '.' || ch == '-') ch = '_';
+        return s.substr(0, 4);
+      };
+      return "g1_" + f(c.gamma1_scale) + "_g2_" + f(c.gamma2_scale) +
+             "_cs_" + f(c.cap_share) + "_e_" + f(c.emission) + "_m_" +
+             f(c.max_trade);
+    });
+
+}  // namespace
+}  // namespace cea::core

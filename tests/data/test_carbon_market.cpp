@@ -1,0 +1,78 @@
+#include "data/carbon_market.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cea::data {
+namespace {
+
+TEST(CarbonMarket, PricesWithinBand) {
+  MarketConfig config;
+  Rng rng(1);
+  const PriceSeries series = generate_prices(1000, config, rng);
+  ASSERT_EQ(series.size(), 1000u);
+  for (double c : series.buy) {
+    EXPECT_GE(c, config.min_price);
+    EXPECT_LE(c, config.max_price);
+  }
+}
+
+TEST(CarbonMarket, SellIsNinetyPercentOfBuy) {
+  MarketConfig config;
+  Rng rng(2);
+  const PriceSeries series = generate_prices(200, config, rng);
+  for (std::size_t t = 0; t < series.size(); ++t)
+    EXPECT_NEAR(series.sell[t], 0.9 * series.buy[t], 1e-12);
+}
+
+TEST(CarbonMarket, PricesFluctuate) {
+  MarketConfig config;
+  Rng rng(3);
+  const PriceSeries series = generate_prices(500, config, rng);
+  const auto [lo, hi] =
+      std::minmax_element(series.buy.begin(), series.buy.end());
+  EXPECT_GT(*hi - *lo, 1.0);  // spans a meaningful part of the band
+}
+
+TEST(CarbonMarket, MeanNearBandMidpoint) {
+  MarketConfig config;
+  Rng rng(4);
+  const PriceSeries series = generate_prices(20000, config, rng);
+  double total = 0.0;
+  for (double c : series.buy) total += c;
+  const double mean = total / static_cast<double>(series.size());
+  EXPECT_NEAR(mean, 0.5 * (config.min_price + config.max_price), 0.7);
+}
+
+TEST(CarbonMarket, Deterministic) {
+  MarketConfig config;
+  Rng a(5), b(5);
+  const PriceSeries sa = generate_prices(100, config, a);
+  const PriceSeries sb = generate_prices(100, config, b);
+  EXPECT_EQ(sa.buy, sb.buy);
+}
+
+TEST(CarbonMarket, ConsecutivePricesAreCorrelated) {
+  // Mean-reverting walk: per-slot change must be far smaller than the band.
+  MarketConfig config;
+  Rng rng(6);
+  const PriceSeries series = generate_prices(1000, config, rng);
+  double max_jump = 0.0;
+  for (std::size_t t = 1; t < series.size(); ++t)
+    max_jump =
+        std::max(max_jump, std::abs(series.buy[t] - series.buy[t - 1]));
+  EXPECT_LT(max_jump, 2.5);
+}
+
+TEST(CarbonMarket, CustomSellRatio) {
+  MarketConfig config;
+  config.sell_ratio = 0.5;
+  Rng rng(7);
+  const PriceSeries series = generate_prices(50, config, rng);
+  for (std::size_t t = 0; t < series.size(); ++t)
+    EXPECT_NEAR(series.sell[t], 0.5 * series.buy[t], 1e-12);
+}
+
+}  // namespace
+}  // namespace cea::data

@@ -1,0 +1,105 @@
+#include "data/loss_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+
+namespace cea::data {
+namespace {
+
+TEST(LossProfile, StatsFromTable) {
+  LossProfile profile("m", {0.0, 1.0, 2.0, 1.0}, {1, 0, 0, 1}, 3.5);
+  EXPECT_DOUBLE_EQ(profile.mean_loss(), 1.0);
+  EXPECT_DOUBLE_EQ(profile.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(profile.size_mb(), 3.5);
+  EXPECT_EQ(profile.table_size(), 4u);
+  EXPECT_GT(profile.loss_stddev(), 0.0);
+}
+
+TEST(LossProfile, DrawReturnsTableEntries) {
+  LossProfile profile("m", {0.25, 0.75}, {1, 0}, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const LossDraw draw = profile.draw(rng);
+    EXPECT_TRUE(draw.loss == 0.25 || draw.loss == 0.75);
+    // correctness must be consistent with the paired loss entry
+    if (draw.loss == 0.25) EXPECT_TRUE(draw.correct);
+    if (draw.loss == 0.75) EXPECT_FALSE(draw.correct);
+  }
+}
+
+TEST(LossProfile, DrawMeanConvergesToTableMean) {
+  Rng table_rng(2);
+  const LossProfile profile = make_parametric_profile(
+      "p", 0.6, 0.2, 0.7, 2.0, 4096, table_rng);
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) sum += profile.draw(rng).loss;
+  EXPECT_NEAR(sum / n, profile.mean_loss(), 0.01);
+}
+
+TEST(ParametricProfile, RespectsTargets) {
+  Rng rng(4);
+  const LossProfile profile =
+      make_parametric_profile("p", 0.5, 0.1, 0.8, 1.5, 8192, rng);
+  EXPECT_NEAR(profile.mean_loss(), 0.5, 0.02);
+  EXPECT_NEAR(profile.accuracy(), 0.8, 0.03);
+  EXPECT_DOUBLE_EQ(profile.size_mb(), 1.5);
+}
+
+TEST(ParametricProfile, LossesClampedToValidRange) {
+  Rng rng(5);
+  const LossProfile profile =
+      make_parametric_profile("p", 1.9, 1.0, 0.2, 1.0, 2048, rng);
+  Rng draw_rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const double l = profile.draw(draw_rng).loss;
+    EXPECT_GE(l, 0.0);
+    EXPECT_LE(l, 2.0);
+  }
+}
+
+TEST(ProfileModel, MatchesDirectEvaluation) {
+  // Profile a deterministic model and verify accuracy/mean loss agree with
+  // what the profiling set says.
+  Rng rng(7);
+  nn::Sequential model("probe");
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Dense>(4, 3, rng);
+
+  Dataset ds;
+  ds.samples = nn::Tensor({20, 1, 2, 2});
+  for (std::size_t i = 0; i < ds.samples.size(); ++i)
+    ds.samples[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  ds.labels.resize(20);
+  for (std::size_t i = 0; i < 20; ++i)
+    ds.labels[i] = i % 3;
+
+  const LossProfile profile = profile_model(model, ds, 7);
+  EXPECT_EQ(profile.table_size(), 20u);
+  EXPECT_GE(profile.mean_loss(), 0.0);
+  EXPECT_LE(profile.mean_loss(), 2.0);
+  EXPECT_GE(profile.accuracy(), 0.0);
+  EXPECT_LE(profile.accuracy(), 1.0);
+  EXPECT_EQ(profile.model_name(), "probe");
+}
+
+TEST(ProfileModel, BatchSizeInvariance) {
+  Rng rng(8);
+  nn::Sequential model("probe");
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Dense>(4, 2, rng);
+  Dataset ds;
+  ds.samples = nn::Tensor({13, 1, 2, 2});
+  for (std::size_t i = 0; i < ds.samples.size(); ++i)
+    ds.samples[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  ds.labels.assign(13, 0);
+  const LossProfile a = profile_model(model, ds, 4);
+  const LossProfile b = profile_model(model, ds, 100);
+  EXPECT_NEAR(a.mean_loss(), b.mean_loss(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.accuracy(), b.accuracy());
+}
+
+}  // namespace
+}  // namespace cea::data

@@ -1,0 +1,78 @@
+#include "data/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cea::data {
+namespace {
+
+TEST(Topology, Distance) {
+  EXPECT_DOUBLE_EQ(distance_km({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_km({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(Topology, GeneratesRequestedEdges) {
+  TopologyConfig config;
+  Rng rng(1);
+  const Topology topo = generate_topology(25, config, rng);
+  EXPECT_EQ(topo.num_edges(), 25u);
+  EXPECT_EQ(topo.distance_km.size(), 25u);
+  EXPECT_EQ(topo.download_delay.size(), 25u);
+  EXPECT_EQ(topo.transfer_energy_kwh_per_mb.size(), 25u);
+}
+
+TEST(Topology, EdgesWithinRegion) {
+  TopologyConfig config;
+  config.region_radius_km = 500.0;
+  Rng rng(2);
+  const Topology topo = generate_topology(100, config, rng);
+  for (const auto& site : topo.edges) {
+    EXPECT_LE(std::hypot(site.x_km, site.y_km), 500.0 + 1e-9);
+  }
+}
+
+TEST(Topology, DelayIncreasesWithDistance) {
+  TopologyConfig config;
+  Rng rng(3);
+  const Topology topo = generate_topology(50, config, rng);
+  for (std::size_t i = 0; i < topo.num_edges(); ++i) {
+    const double expected = config.delay_base +
+                            config.delay_per_1000km *
+                                topo.distance_km[i] / 1000.0;
+    EXPECT_NEAR(topo.download_delay[i], expected, 1e-12);
+    EXPECT_GT(topo.download_delay[i], config.delay_base);
+  }
+}
+
+TEST(Topology, CloudIsFarFromEdges) {
+  TopologyConfig config;
+  Rng rng(4);
+  const Topology topo = generate_topology(20, config, rng);
+  for (double d : topo.distance_km)
+    EXPECT_GT(d, config.cloud_offset_km - config.region_radius_km - 1e-9);
+}
+
+TEST(Topology, HeterogeneousDelays) {
+  TopologyConfig config;
+  Rng rng(5);
+  const Topology topo = generate_topology(30, config, rng);
+  double lo = topo.download_delay[0], hi = topo.download_delay[0];
+  for (double d : topo.download_delay) {
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_GT(hi - lo, 0.01);
+}
+
+TEST(Topology, Deterministic) {
+  TopologyConfig config;
+  Rng a(6), b(6);
+  const Topology ta = generate_topology(5, config, a);
+  const Topology tb = generate_topology(5, config, b);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(ta.distance_km[i], tb.distance_km[i]);
+}
+
+}  // namespace
+}  // namespace cea::data

@@ -1,0 +1,130 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace cea::data {
+namespace {
+
+TEST(DiurnalShape, BoundedAndPositive) {
+  for (int i = 0; i < 100; ++i) {
+    const double u = i / 100.0;
+    const double s = diurnal_shape(u);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.01);
+  }
+}
+
+TEST(DiurnalShape, HasMorningAndEveningPeaks) {
+  const double morning = diurnal_shape(0.35);
+  const double midday = diurnal_shape(0.55);
+  const double evening = diurnal_shape(0.73);
+  const double night = diurnal_shape(0.02);
+  EXPECT_GT(morning, midday);
+  EXPECT_GT(evening, midday);
+  EXPECT_GT(morning, night);
+}
+
+TEST(Workload, ShapeAndPositivity) {
+  WorkloadConfig config;
+  config.num_slots = 160;
+  Rng rng(1);
+  const auto traces = generate_workload(5, config, rng);
+  ASSERT_EQ(traces.size(), 5u);
+  for (const auto& trace : traces) {
+    ASSERT_EQ(trace.size(), 160u);
+    for (int m : trace) EXPECT_GE(m, 1);
+  }
+}
+
+TEST(Workload, MeanNearConfigured) {
+  WorkloadConfig config;
+  config.num_slots = 1600;  // long trace for tight statistics
+  config.mean_samples = 100.0;
+  Rng rng(2);
+  const auto traces = generate_workload(20, config, rng);
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& trace : traces) {
+    for (int m : trace) {
+      total += m;
+      ++count;
+    }
+  }
+  const double mean = total / static_cast<double>(count);
+  EXPECT_NEAR(mean, 100.0, 25.0);
+}
+
+TEST(Workload, StationsSortedBusiestFirst) {
+  WorkloadConfig config;
+  config.num_slots = 400;
+  Rng rng(3);
+  const auto traces = generate_workload(10, config, rng);
+  auto volume = [](const std::vector<int>& t) {
+    long s = 0;
+    for (int m : t) s += m;
+    return s;
+  };
+  // Edge 0 is the busiest station by construction.
+  const long first = volume(traces[0]);
+  for (std::size_t i = 1; i < traces.size(); ++i)
+    EXPECT_GE(first, volume(traces[i]) / 2);  // heavy-tailed but ordered
+  EXPECT_GE(first, volume(traces[9]));
+}
+
+TEST(Workload, PeaksVisibleInAggregate) {
+  WorkloadConfig config;
+  config.num_slots = 80;  // one day
+  config.slots_per_day = 80;
+  config.noise = 0.01;
+  config.peak_factor = 3.0;
+  Rng rng(4);
+  const auto traces = generate_workload(30, config, rng);
+  std::vector<double> aggregate(80, 0.0);
+  for (const auto& trace : traces)
+    for (std::size_t t = 0; t < 80; ++t) aggregate[t] += trace[t];
+  // Rush-hour slots beat the off-peak trough.
+  const double morning = aggregate[static_cast<std::size_t>(0.35 * 80)];
+  const double midnight = aggregate[1];
+  EXPECT_GT(morning, midnight * 1.3);
+}
+
+TEST(Workload, Deterministic) {
+  WorkloadConfig config;
+  Rng a(5), b(5);
+  const auto ta = generate_workload(3, config, a);
+  const auto tb = generate_workload(3, config, b);
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(Workload, TwoDayPeriodicityCorrelates) {
+  WorkloadConfig config;
+  config.num_slots = 160;
+  config.slots_per_day = 80;
+  config.noise = 0.05;
+  Rng rng(6);
+  const auto traces = generate_workload(1, config, rng);
+  // Day 1 and day 2 shapes should be positively correlated.
+  double corr_num = 0.0, day1_sq = 0.0, day2_sq = 0.0;
+  double m1 = 0.0, m2 = 0.0;
+  for (std::size_t t = 0; t < 80; ++t) {
+    m1 += traces[0][t];
+    m2 += traces[0][80 + t];
+  }
+  m1 /= 80.0;
+  m2 /= 80.0;
+  for (std::size_t t = 0; t < 80; ++t) {
+    const double d1 = traces[0][t] - m1;
+    const double d2 = traces[0][80 + t] - m2;
+    corr_num += d1 * d2;
+    day1_sq += d1 * d1;
+    day2_sq += d2 * d2;
+  }
+  const double corr = corr_num / std::sqrt(day1_sq * day2_sq);
+  EXPECT_GT(corr, 0.5);
+}
+
+}  // namespace
+}  // namespace cea::data

@@ -1,0 +1,97 @@
+// End-to-end integration: the NN substrate feeds real profiled models into
+// the simulator; the full paper pipeline (train -> profile -> simulate ->
+// compare) runs and produces the qualitative orderings the paper reports.
+#include <gtest/gtest.h>
+
+#include "data/loss_profile.h"
+#include "data/synthetic_dataset.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+#include "sim/experiment.h"
+
+namespace cea {
+namespace {
+
+/// Train a tiny 2-model zoo on the synthetic MNIST-like distribution and
+/// profile it (full 6-model training is exercised by the fig12/13 benches;
+/// the integration test keeps it small).
+std::vector<data::LossProfile> build_profiles() {
+  const data::SyntheticDistribution dist(data::mnist_like_spec());
+  Rng rng(33);
+  const data::Dataset train = dist.sample(800, rng);
+  const data::Dataset test = dist.sample(300, rng);
+
+  Rng model_rng(34);
+  std::vector<nn::Sequential> zoo;
+  zoo.push_back(nn::make_mlp("mlp-64", nn::mnist_spec(), 64, model_rng));
+  zoo.push_back(nn::make_mlp("mlp-8", nn::mnist_spec(), 8, model_rng));
+
+  nn::TrainConfig strong;
+  strong.epochs = 3;
+  strong.batch_size = 32;
+  strong.learning_rate = 0.05f;
+  nn::TrainConfig weak = strong;
+  weak.epochs = 1;
+  weak.learning_rate = 0.01f;
+
+  nn::train_sgd(zoo[0], train.samples, train.labels, strong, model_rng);
+  nn::train_sgd(zoo[1], train.samples, train.labels, weak, model_rng);
+
+  std::vector<data::LossProfile> profiles;
+  profiles.push_back(data::profile_model(zoo[0], test));
+  profiles.push_back(data::profile_model(zoo[1], test));
+  return profiles;
+}
+
+TEST(EndToEnd, NnBackedSimulationPipeline) {
+  auto profiles = build_profiles();
+  ASSERT_EQ(profiles.size(), 2u);
+  // The well-trained model must dominate the under-trained one.
+  EXPECT_LT(profiles[0].mean_loss(), profiles[1].mean_loss());
+  EXPECT_GT(profiles[0].accuracy(), profiles[1].accuracy());
+
+  sim::SimConfig config;
+  config.num_edges = 3;
+  config.horizon = 60;
+  config.workload.num_slots = 60;
+  config.workload.mean_samples = 300.0;
+  config.carbon_cap = 20.0;
+  config.loss_draw_cap = 64;
+  config.seed = 35;
+  const auto env =
+      sim::Environment::from_profiles(config, std::move(profiles));
+  EXPECT_EQ(env.num_models(), 2u);
+
+  const auto ours = sim::run_combo(env, sim::ours_combo(), 5);
+  // Our bandit should mostly host the better model late in the horizon.
+  std::size_t good = 0, bad = 0;
+  for (std::size_t i = 0; i < env.num_edges(); ++i) {
+    good += ours.selection_counts[i][0];
+    bad += ours.selection_counts[i][1];
+  }
+  EXPECT_GT(good, bad);
+
+  // And accuracy should reflect the chosen models' quality.
+  EXPECT_GT(ours.mean_accuracy(), 0.3);
+}
+
+TEST(EndToEnd, FullComboMatrixRunsOnParametricEnvironment) {
+  sim::SimConfig config;
+  config.num_edges = 2;
+  config.horizon = 40;
+  config.workload.num_slots = 40;
+  config.workload.mean_samples = 200.0;
+  config.loss_draw_cap = 32;
+  config.seed = 36;
+  const auto env = sim::Environment::make_parametric(config);
+  for (const auto& combo : sim::all_combos()) {
+    const auto result = sim::run_combo(env, combo, 3);
+    EXPECT_EQ(result.horizon(), 40u) << combo.name;
+    EXPECT_GT(result.total_inference_cost(), 0.0) << combo.name;
+  }
+  const auto offline = sim::run_offline(env, 3);
+  EXPECT_EQ(offline.horizon(), 40u);
+}
+
+}  // namespace
+}  // namespace cea

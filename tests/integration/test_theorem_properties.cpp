@@ -1,0 +1,109 @@
+// Property-style checks of the paper's theoretical guarantees on simulated
+// instances: sub-linear regret growth (Theorems 1 and 3) and vanishing
+// time-averaged fit (Theorem 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/regret.h"
+#include "sim/experiment.h"
+
+namespace cea {
+namespace {
+
+sim::SimConfig config_for_horizon(std::size_t horizon) {
+  sim::SimConfig config;
+  config.num_edges = 3;
+  config.horizon = horizon;
+  config.workload.num_slots = horizon;
+  // ~1 allowance unit of emission per slot (3 edges x 8000 samples x
+  // ~8e-8 kWh x 500 units/kWh), against a prorated cap of 0.5/slot, so the
+  // trading subproblem is under constant per-slot tension at every horizon.
+  config.workload.mean_samples = 8000.0;
+  config.carbon_cap = 0.5 * static_cast<double>(horizon);
+  config.loss_draw_cap = 64;
+  config.seed = 77;
+  return config;
+}
+
+double total_cost_gap(std::size_t horizon, std::uint64_t seed) {
+  const auto env = sim::Environment::make_parametric(config_for_horizon(horizon));
+  const auto ours = sim::run_combo(env, sim::ours_combo(), seed);
+  // Regret is measured against the theorem comparator (best fixed models +
+  // per-slot optimal trading), not the arbitrage-capable Offline LP — see
+  // comparator_cost() in sim/experiment.h.
+  return sim::p0_regret(env, ours, seed);
+}
+
+TEST(TheoremProperties, WholeProblemRegretSubLinear) {
+  // Theorem 3: regret = O(T^{2/3}) + constants. Quadrupling T must grow
+  // the regret by clearly less than 4x (allow noise headroom).
+  const double short_gap = total_cost_gap(120, 3);
+  const double long_gap = total_cost_gap(480, 3);
+  EXPECT_LT(long_gap, 3.3 * std::max(short_gap, 1.0) + 30.0);
+}
+
+TEST(TheoremProperties, TimeAveragedFitVanishes) {
+  // Theorem 2: Fit = O(T^{2/3}), so fit/T -> 0.
+  auto fit_per_slot = [](std::size_t horizon) {
+    const auto env =
+        sim::Environment::make_parametric(config_for_horizon(horizon));
+    const auto ours = sim::run_combo(env, sim::ours_combo(), 5);
+    return core::fit(ours.emissions, ours.buys, ours.sells,
+                     env.config().carbon_cap) /
+           static_cast<double>(horizon);
+  };
+  const double short_fit = fit_per_slot(80);
+  const double long_fit = fit_per_slot(480);
+  EXPECT_LE(long_fit, short_fit + 0.1);
+  EXPECT_LT(long_fit, 1.0);  // per-slot violation is a small fraction of
+                             // the per-slot emission (~4 units)
+}
+
+TEST(TheoremProperties, SwitchingCostSubLinear) {
+  // Theorem 1 bounds switches by K_i = O(T^{2/3}).
+  auto switches = [](std::size_t horizon) {
+    const auto env =
+        sim::Environment::make_parametric(config_for_horizon(horizon));
+    const auto ours = sim::run_combo(env, sim::ours_combo(), 7);
+    return static_cast<double>(ours.total_switches);
+  };
+  const double s1 = switches(100);
+  const double s2 = switches(800);  // 8x horizon
+  EXPECT_LT(s2, 4.5 * s1);          // 8^{2/3} = 4
+}
+
+TEST(TheoremProperties, TradingRegretSubLinear) {
+  // Theorem 2 regret against the per-slot optima.
+  auto trading_regret = [](std::size_t horizon) {
+    const auto env =
+        sim::Environment::make_parametric(config_for_horizon(horizon));
+    const auto ours = sim::run_combo(env, sim::ours_combo(), 9);
+    const auto series = core::trading_regret_series(
+        ours.emissions, ours.buys, ours.sells, env.prices().buy,
+        env.prices().sell, env.config().carbon_cap,
+        env.config().max_trade_per_slot);
+    return series.back();
+  };
+  const double r1 = trading_regret(100);
+  const double r2 = trading_regret(400);
+  // 4x horizon: sub-linear means < 4x regret (with additive headroom).
+  EXPECT_LT(r2, 3.5 * std::max(r1, 1.0) + 100.0);
+}
+
+TEST(TheoremProperties, OursWithinBaselineEnvelope) {
+  // Sanity on the headline claim (Fig. 4): our total cost is below the
+  // average of the baseline combos.
+  const auto env = sim::Environment::make_parametric(config_for_horizon(160));
+  const auto ours = sim::run_combo_averaged(env, sim::ours_combo(), 3, 50);
+  double baseline_total = 0.0;
+  const auto combos = sim::baseline_combos();
+  for (const auto& combo : combos) {
+    baseline_total += sim::run_combo(env, combo, 51).total_cost();
+  }
+  EXPECT_LT(ours.total_cost(),
+            baseline_total / static_cast<double>(combos.size()));
+}
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,79 @@
+// Parameterized linearity-decomposition reference checks for
+// DepthwiseConv2D (mirrors tests/nn/test_conv_reference.cpp for Conv2D).
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace cea::nn {
+namespace {
+
+struct DwCase {
+  std::size_t channels, size, kernel, stride, padding;
+};
+
+class DepthwiseReference : public ::testing::TestWithParam<DwCase> {};
+
+TEST_P(DepthwiseReference, LinearityDecomposition) {
+  const auto& param = GetParam();
+  Rng rng(21);
+  DepthwiseConv2D conv(param.channels, param.kernel, param.stride,
+                       param.padding, rng);
+
+  Tensor input({1, param.channels, param.size, param.size});
+  Rng input_rng(23);
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(input_rng.normal(0.0, 1.0));
+
+  const Tensor direct = conv.forward(input);
+  Tensor zero_input({1, param.channels, param.size, param.size});
+  const Tensor bias_map = conv.forward(zero_input);
+
+  Tensor reconstructed(direct.shape());
+  for (std::size_t i = 0; i < reconstructed.size(); ++i)
+    reconstructed[i] = bias_map[i];
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (input[i] == 0.0f) continue;
+    Tensor basis({1, param.channels, param.size, param.size});
+    basis[i] = 1.0f;
+    const Tensor response = conv.forward(basis);
+    for (std::size_t k = 0; k < reconstructed.size(); ++k)
+      reconstructed[k] += input[i] * (response[k] - bias_map[k]);
+  }
+  for (std::size_t k = 0; k < direct.size(); ++k)
+    EXPECT_NEAR(direct[k], reconstructed[k], 1e-3f) << "output index " << k;
+}
+
+TEST_P(DepthwiseReference, CrossChannelIndependence) {
+  const auto& param = GetParam();
+  if (param.channels < 2) GTEST_SKIP();
+  Rng rng(29);
+  DepthwiseConv2D conv(param.channels, param.kernel, param.stride,
+                       param.padding, rng);
+  Tensor input({1, param.channels, param.size, param.size});
+  // Excite only channel 0.
+  for (std::size_t i = 0; i < param.size * param.size; ++i)
+    input[i] = 1.0f;
+  const Tensor out = conv.forward(input);
+  // All other channels must be bias-only (zero).
+  const std::size_t area = out.dim(2) * out.dim(3);
+  for (std::size_t c = 1; c < param.channels; ++c) {
+    for (std::size_t i = 0; i < area; ++i)
+      EXPECT_EQ(out[c * area + i], 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DepthwiseReference,
+    ::testing::Values(DwCase{1, 5, 3, 1, 0}, DwCase{2, 5, 3, 1, 1},
+                      DwCase{3, 6, 3, 2, 1}, DwCase{2, 7, 5, 1, 2},
+                      DwCase{4, 4, 3, 2, 1}),
+    [](const ::testing::TestParamInfo<DwCase>& info) {
+      const auto& c = info.param;
+      return "c" + std::to_string(c.channels) + "s" + std::to_string(c.size) +
+             "k" + std::to_string(c.kernel) + "st" +
+             std::to_string(c.stride) + "p" + std::to_string(c.padding);
+    });
+
+}  // namespace
+}  // namespace cea::nn

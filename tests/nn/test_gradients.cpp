@@ -1,0 +1,181 @@
+// Finite-difference validation of every layer's backward pass (input
+// gradients). For a scalar functional phi(x) = sum_k c_k * L(x)_k the
+// backward pass with grad_output = c must match central differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace cea::nn {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+/// Max relative error between analytic and numeric input gradients.
+double check_input_gradient(Layer& layer, Tensor input, Rng& rng,
+                            float eps = 1e-3f) {
+  const Tensor out = layer.forward(input);
+  Tensor coeffs(out.shape());
+  for (std::size_t i = 0; i < coeffs.size(); ++i)
+    coeffs[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  const Tensor analytic = layer.backward(coeffs);
+
+  double worst = 0.0;
+  // Probe a subset of coordinates to keep the test fast.
+  const std::size_t stride = std::max<std::size_t>(1, input.size() / 24);
+  for (std::size_t i = 0; i < input.size(); i += stride) {
+    Tensor plus = input, minus = input;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const Tensor out_plus = layer.forward(plus);
+    const Tensor out_minus = layer.forward(minus);
+    double phi_plus = 0.0, phi_minus = 0.0;
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      phi_plus += static_cast<double>(coeffs[k]) * out_plus[k];
+      phi_minus += static_cast<double>(coeffs[k]) * out_minus[k];
+    }
+    const double numeric = (phi_plus - phi_minus) / (2.0 * eps);
+    const double denom =
+        std::max(1.0, std::abs(numeric) + std::abs(analytic[i]));
+    worst = std::max(worst,
+                     std::abs(numeric - analytic[i]) / denom);
+  }
+  return worst;
+}
+
+TEST(GradientCheck, Dense) {
+  Rng rng(101);
+  Dense layer(6, 4, rng);
+  const double err = check_input_gradient(layer, random_tensor({2, 6}, rng),
+                                          rng);
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST(GradientCheck, Conv2DNoPadding) {
+  Rng rng(102);
+  Conv2D layer(2, 3, 3, 1, 0, rng);
+  const double err =
+      check_input_gradient(layer, random_tensor({1, 2, 6, 6}, rng), rng);
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST(GradientCheck, Conv2DWithPadding) {
+  Rng rng(103);
+  Conv2D layer(1, 2, 3, 1, 1, rng);
+  const double err =
+      check_input_gradient(layer, random_tensor({2, 1, 5, 5}, rng), rng);
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST(GradientCheck, Conv2DStrided) {
+  Rng rng(104);
+  Conv2D layer(2, 2, 3, 2, 1, rng);
+  const double err =
+      check_input_gradient(layer, random_tensor({1, 2, 8, 8}, rng), rng);
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST(GradientCheck, DepthwiseConv2D) {
+  Rng rng(105);
+  DepthwiseConv2D layer(3, 3, 1, 1, rng);
+  const double err =
+      check_input_gradient(layer, random_tensor({1, 3, 6, 6}, rng), rng);
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST(GradientCheck, DepthwiseConv2DStrided) {
+  Rng rng(106);
+  DepthwiseConv2D layer(2, 3, 2, 1, rng);
+  const double err =
+      check_input_gradient(layer, random_tensor({1, 2, 8, 8}, rng), rng);
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST(GradientCheck, ReLUAwayFromKink) {
+  Rng rng(107);
+  ReLU layer;
+  Tensor input = random_tensor({2, 10}, rng);
+  // Push values away from zero so finite differences are clean.
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] += (input[i] >= 0.0f ? 0.5f : -0.5f);
+  const double err = check_input_gradient(layer, input, rng);
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST(GradientCheck, GlobalAvgPool) {
+  Rng rng(108);
+  GlobalAvgPool layer;
+  const double err =
+      check_input_gradient(layer, random_tensor({2, 3, 4, 4}, rng), rng);
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST(GradientCheck, Flatten) {
+  Rng rng(109);
+  Flatten layer;
+  const double err =
+      check_input_gradient(layer, random_tensor({2, 2, 3, 3}, rng), rng);
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST(GradientCheck, MaxPoolAwayFromTies) {
+  Rng rng(110);
+  MaxPool2D layer(2);
+  // Distinct values guarantee a stable argmax under the probe epsilon.
+  Tensor input({1, 1, 4, 4});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(i) * 0.37f +
+               static_cast<float>(rng.uniform(0.0, 0.1));
+  const double err = check_input_gradient(layer, input, rng, 5e-4f);
+  EXPECT_LT(err, 2e-2);
+}
+
+/// Parameter gradients validated indirectly: one SGD step along the
+/// analytic gradient must reduce the scalar objective.
+TEST(GradientCheck, DenseParameterStepDecreasesLoss) {
+  Rng rng(111);
+  Dense layer(5, 3, rng);
+  const Tensor input = random_tensor({4, 5}, rng);
+  auto objective = [&](Layer& l) {
+    const Tensor out = l.forward(input);
+    double v = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      v += 0.5 * static_cast<double>(out[i]) * out[i];
+    return v;
+  };
+  const double before = objective(layer);
+  // Gradient of 0.5*||out||^2 wrt out is out itself.
+  const Tensor out = layer.forward(input);
+  layer.backward(out);
+  layer.apply_gradients(0.01f);
+  const double after = objective(layer);
+  EXPECT_LT(after, before);
+}
+
+TEST(GradientCheck, Conv2DParameterStepDecreasesLoss) {
+  Rng rng(112);
+  Conv2D layer(2, 2, 3, 1, 1, rng);
+  const Tensor input = random_tensor({2, 2, 6, 6}, rng);
+  const Tensor out0 = layer.forward(input);
+  double before = 0.0;
+  for (std::size_t i = 0; i < out0.size(); ++i)
+    before += 0.5 * static_cast<double>(out0[i]) * out0[i];
+  layer.backward(out0);
+  layer.apply_gradients(0.005f);
+  const Tensor out1 = layer.forward(input);
+  double after = 0.0;
+  for (std::size_t i = 0; i < out1.size(); ++i)
+    after += 0.5 * static_cast<double>(out1[i]) * out1[i];
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace cea::nn

@@ -1,0 +1,189 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cea::nn {
+namespace {
+
+TEST(Dense, OutputShape) {
+  Rng rng(1);
+  Dense layer(4, 3, rng);
+  Tensor in({2, 4});
+  const Tensor out = layer.forward(in);
+  EXPECT_EQ(out.dim(0), 2u);
+  EXPECT_EQ(out.dim(1), 3u);
+  EXPECT_EQ(layer.parameter_count(), 4u * 3u + 3u);
+}
+
+TEST(Dense, ZeroInputGivesBias) {
+  Rng rng(2);
+  Dense layer(3, 2, rng);
+  Tensor in({1, 3});
+  const Tensor out = layer.forward(in);
+  // Bias starts at zero, so output must be zero.
+  EXPECT_EQ(out.at(0, 0), 0.0f);
+  EXPECT_EQ(out.at(0, 1), 0.0f);
+}
+
+TEST(Dense, LinearInInput) {
+  Rng rng(3);
+  Dense layer(2, 1, rng);
+  Tensor a({1, 2});
+  a.at(0, 0) = 1.0f;
+  Tensor b({1, 2});
+  b.at(0, 1) = 1.0f;
+  Tensor ab({1, 2});
+  ab.at(0, 0) = 1.0f;
+  ab.at(0, 1) = 1.0f;
+  const float fa = layer.forward(a).at(0, 0);
+  const float fb = layer.forward(b).at(0, 0);
+  const float fab = layer.forward(ab).at(0, 0);
+  EXPECT_NEAR(fab, fa + fb, 1e-5f);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  Tensor in({1, 4});
+  in[0] = -1.0f; in[1] = 2.0f; in[2] = 0.0f; in[3] = -0.5f;
+  const Tensor out = relu.forward(in);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 2.0f);
+  EXPECT_EQ(out[2], 0.0f);
+  EXPECT_EQ(out[3], 0.0f);
+}
+
+TEST(ReLU, BackwardMasks) {
+  ReLU relu;
+  Tensor in({1, 2});
+  in[0] = -1.0f; in[1] = 3.0f;
+  relu.forward(in);
+  Tensor grad({1, 2});
+  grad[0] = 5.0f; grad[1] = 7.0f;
+  const Tensor gin = relu.backward(grad);
+  EXPECT_EQ(gin[0], 0.0f);
+  EXPECT_EQ(gin[1], 7.0f);
+}
+
+TEST(Conv2D, OutputShapeWithPadding) {
+  Rng rng(4);
+  Conv2D conv(1, 2, 3, 1, 1, rng);
+  Tensor in({1, 1, 8, 8});
+  const Tensor out = conv.forward(in);
+  EXPECT_EQ(out.dim(1), 2u);
+  EXPECT_EQ(out.dim(2), 8u);
+  EXPECT_EQ(out.dim(3), 8u);
+}
+
+TEST(Conv2D, OutputShapeWithStride) {
+  Rng rng(5);
+  Conv2D conv(3, 4, 3, 2, 1, rng);
+  Tensor in({2, 3, 32, 32});
+  const Tensor out = conv.forward(in);
+  EXPECT_EQ(out.dim(0), 2u);
+  EXPECT_EQ(out.dim(1), 4u);
+  EXPECT_EQ(out.dim(2), 16u);
+  EXPECT_EQ(out.dim(3), 16u);
+}
+
+TEST(Conv2D, IdentityKernelReproducesInput) {
+  Rng rng(6);
+  Conv2D conv(1, 1, 1, 1, 0, rng);
+  // A 1x1 conv is a scalar multiply; check linear response.
+  Tensor in({1, 1, 3, 3});
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = static_cast<float>(i);
+  const Tensor out = conv.forward(in);
+  // All outputs must be input * w where w is the single weight.
+  const float w = in[1] != 0.0f ? out[1] / in[1] : 0.0f;
+  for (std::size_t i = 1; i < in.size(); ++i)
+    EXPECT_NEAR(out[i], in[i] * w, 1e-5f);
+}
+
+TEST(Conv2D, ParameterCount) {
+  Rng rng(7);
+  Conv2D conv(3, 8, 5, 1, 2, rng);
+  EXPECT_EQ(conv.parameter_count(), 8u * 3u * 5u * 5u + 8u);
+}
+
+TEST(DepthwiseConv2D, KeepsChannelCount) {
+  Rng rng(8);
+  DepthwiseConv2D conv(4, 3, 1, 1, rng);
+  Tensor in({1, 4, 6, 6});
+  const Tensor out = conv.forward(in);
+  EXPECT_EQ(out.dim(1), 4u);
+  EXPECT_EQ(out.dim(2), 6u);
+  EXPECT_EQ(conv.parameter_count(), 4u * 9u + 4u);
+}
+
+TEST(DepthwiseConv2D, ChannelsIndependent) {
+  Rng rng(9);
+  DepthwiseConv2D conv(2, 3, 1, 1, rng);
+  Tensor a({1, 2, 4, 4});
+  a.at(0, 0, 2, 2) = 1.0f;  // excite channel 0 only
+  const Tensor out = conv.forward(a);
+  // Channel 1 output must be all-bias (zero, bias starts 0).
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x)
+      EXPECT_EQ(out.at(0, 1, y, x), 0.0f);
+}
+
+TEST(MaxPool2D, PicksWindowMaximum) {
+  MaxPool2D pool(2);
+  Tensor in({1, 1, 2, 2});
+  in.at(0, 0, 0, 0) = 1.0f;
+  in.at(0, 0, 0, 1) = 4.0f;
+  in.at(0, 0, 1, 0) = -2.0f;
+  in.at(0, 0, 1, 1) = 0.5f;
+  const Tensor out = pool.forward(in);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 4.0f);
+}
+
+TEST(MaxPool2D, BackwardRoutesToArgmax) {
+  MaxPool2D pool(2);
+  Tensor in({1, 1, 2, 2});
+  in.at(0, 0, 1, 0) = 9.0f;
+  pool.forward(in);
+  Tensor grad({1, 1, 1, 1});
+  grad[0] = 3.0f;
+  const Tensor gin = pool.backward(grad);
+  EXPECT_EQ(gin.at(0, 0, 1, 0), 3.0f);
+  EXPECT_EQ(gin.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(GlobalAvgPool, Averages) {
+  GlobalAvgPool pool;
+  Tensor in({1, 2, 2, 2});
+  for (std::size_t i = 0; i < 4; ++i) in[i] = 2.0f;       // channel 0
+  for (std::size_t i = 4; i < 8; ++i) in[i] = 6.0f;       // channel 1
+  const Tensor out = pool.forward(in);
+  EXPECT_EQ(out.rank(), 2u);
+  EXPECT_NEAR(out.at(0, 0), 2.0f, 1e-6f);
+  EXPECT_NEAR(out.at(0, 1), 6.0f, 1e-6f);
+}
+
+TEST(GlobalAvgPool, BackwardSpreadsUniformly) {
+  GlobalAvgPool pool;
+  Tensor in({1, 1, 2, 2});
+  pool.forward(in);
+  Tensor grad({1, 1});
+  grad[0] = 4.0f;
+  const Tensor gin = pool.backward(grad);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(gin[i], 1.0f, 1e-6f);
+}
+
+TEST(Flatten, RoundTrips) {
+  Flatten flatten;
+  Tensor in({2, 3, 4, 5});
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = static_cast<float>(i);
+  const Tensor out = flatten.forward(in);
+  EXPECT_EQ(out.rank(), 2u);
+  EXPECT_EQ(out.dim(1), 60u);
+  const Tensor back = flatten.backward(out);
+  EXPECT_EQ(back.shape(), in.shape());
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(back[i], in[i]);
+}
+
+}  // namespace
+}  // namespace cea::nn

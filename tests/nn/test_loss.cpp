@@ -1,0 +1,121 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace cea::nn {
+namespace {
+
+TEST(CrossEntropy, UniformLogitsGiveLogN) {
+  Tensor logits({1, 4});  // all-zero logits -> uniform softmax
+  const std::vector<std::size_t> labels = {2};
+  const auto result = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(result.loss, std::log(4.0), 1e-5);
+}
+
+TEST(CrossEntropy, ConfidentCorrectIsNearZero) {
+  Tensor logits({1, 3});
+  logits.at(0, 1) = 30.0f;
+  const std::vector<std::size_t> labels = {1};
+  const auto result = softmax_cross_entropy(logits, labels);
+  EXPECT_LT(result.loss, 1e-4);
+}
+
+TEST(CrossEntropy, ConfidentWrongIsLarge) {
+  Tensor logits({1, 3});
+  logits.at(0, 0) = 30.0f;
+  const std::vector<std::size_t> labels = {1};
+  const auto result = softmax_cross_entropy(logits, labels);
+  EXPECT_GT(result.loss, 10.0);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOnehotOverBatch) {
+  Tensor logits({2, 3});
+  logits.at(0, 0) = 1.0f;
+  logits.at(1, 2) = -0.5f;
+  const std::vector<std::size_t> labels = {0, 2};
+  const auto result = softmax_cross_entropy(logits, labels);
+  const Tensor probs = softmax(logits);
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const float target = (c == labels[b]) ? 1.0f : 0.0f;
+      EXPECT_NEAR(result.grad_logits.at(b, c),
+                  (probs.at(b, c) - target) / 2.0f, 1e-6f);
+    }
+  }
+}
+
+TEST(CrossEntropy, GradientSumsToZeroPerRow) {
+  Tensor logits({1, 5});
+  for (std::size_t c = 0; c < 5; ++c)
+    logits.at(0, c) = static_cast<float>(c) * 0.3f;
+  const std::vector<std::size_t> labels = {3};
+  const auto result = softmax_cross_entropy(logits, labels);
+  float total = 0.0f;
+  for (std::size_t c = 0; c < 5; ++c) total += result.grad_logits.at(0, c);
+  EXPECT_NEAR(total, 0.0f, 1e-6f);
+}
+
+TEST(SquaredLoss, PerfectPredictionIsZero) {
+  Tensor probs({1, 3});
+  probs.at(0, 1) = 1.0f;
+  const std::vector<std::size_t> labels = {1};
+  const auto losses = squared_losses(probs, labels);
+  EXPECT_NEAR(losses[0], 0.0, 1e-10);
+}
+
+TEST(SquaredLoss, WorstCaseIsTwo) {
+  // All mass on the wrong class: (1-0)^2 + (0-1)^2 = 2.
+  Tensor probs({1, 2});
+  probs.at(0, 0) = 1.0f;
+  const std::vector<std::size_t> labels = {1};
+  const auto losses = squared_losses(probs, labels);
+  EXPECT_NEAR(losses[0], 2.0, 1e-10);
+}
+
+TEST(SquaredLoss, UniformPrediction) {
+  Tensor probs({1, 4});
+  for (std::size_t c = 0; c < 4; ++c) probs.at(0, c) = 0.25f;
+  const std::vector<std::size_t> labels = {0};
+  // (0.25-1)^2 + 3*(0.25)^2 = 0.5625 + 0.1875 = 0.75.
+  const auto losses = squared_losses(probs, labels);
+  EXPECT_NEAR(losses[0], 0.75, 1e-6);
+}
+
+TEST(SquaredLoss, BatchedIndependently) {
+  Tensor probs({2, 2});
+  probs.at(0, 0) = 1.0f;            // correct for label 0
+  probs.at(1, 0) = 1.0f;            // wrong for label 1
+  const std::vector<std::size_t> labels = {0, 1};
+  const auto losses = squared_losses(probs, labels);
+  EXPECT_NEAR(losses[0], 0.0, 1e-10);
+  EXPECT_NEAR(losses[1], 2.0, 1e-10);
+}
+
+TEST(Accuracy, AllCorrect) {
+  Tensor logits({2, 2});
+  logits.at(0, 0) = 1.0f;
+  logits.at(1, 1) = 1.0f;
+  const std::vector<std::size_t> labels = {0, 1};
+  EXPECT_DOUBLE_EQ(accuracy(logits, labels), 1.0);
+}
+
+TEST(Accuracy, Half) {
+  Tensor logits({2, 2});
+  logits.at(0, 0) = 1.0f;
+  logits.at(1, 0) = 1.0f;
+  const std::vector<std::size_t> labels = {0, 1};
+  EXPECT_DOUBLE_EQ(accuracy(logits, labels), 0.5);
+}
+
+TEST(Accuracy, EmptyBatch) {
+  Tensor logits({0, 2});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace cea::nn

@@ -1,0 +1,103 @@
+#include "nn/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+
+namespace cea::nn {
+namespace {
+
+Sequential tiny_mlp(Rng& rng) {
+  Sequential model("tiny");
+  model.emplace<Dense>(4, 8, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(8, 3, rng);
+  return model;
+}
+
+TEST(Sequential, ForwardShape) {
+  Rng rng(1);
+  auto model = tiny_mlp(rng);
+  Tensor in({5, 4});
+  const Tensor out = model.forward(in);
+  EXPECT_EQ(out.dim(0), 5u);
+  EXPECT_EQ(out.dim(1), 3u);
+}
+
+TEST(Sequential, ParameterCount) {
+  Rng rng(2);
+  auto model = tiny_mlp(rng);
+  EXPECT_EQ(model.parameter_count(), (4u * 8u + 8u) + (8u * 3u + 3u));
+  EXPECT_GT(model.size_mb(), 0.0);
+  EXPECT_EQ(model.layer_count(), 3u);
+}
+
+TEST(Sequential, NameIsKept) {
+  Rng rng(3);
+  auto model = tiny_mlp(rng);
+  EXPECT_EQ(model.name(), "tiny");
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Tensor logits({2, 3});
+  logits.at(0, 0) = 1.0f; logits.at(0, 1) = 2.0f; logits.at(0, 2) = 3.0f;
+  logits.at(1, 0) = -5.0f; logits.at(1, 1) = 0.0f; logits.at(1, 2) = 5.0f;
+  const Tensor p = softmax(logits);
+  for (std::size_t b = 0; b < 2; ++b) {
+    float total = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_GT(p.at(b, c), 0.0f);
+      total += p.at(b, c);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  Tensor logits({1, 2});
+  logits.at(0, 0) = 1000.0f;
+  logits.at(0, 1) = 999.0f;
+  const Tensor p = softmax(logits);
+  EXPECT_TRUE(std::isfinite(p.at(0, 0)));
+  EXPECT_GT(p.at(0, 0), p.at(0, 1));
+}
+
+TEST(Softmax, OrderPreserving) {
+  Tensor logits({1, 3});
+  logits.at(0, 0) = 0.1f; logits.at(0, 1) = 0.5f; logits.at(0, 2) = -1.0f;
+  const Tensor p = softmax(logits);
+  EXPECT_GT(p.at(0, 1), p.at(0, 0));
+  EXPECT_GT(p.at(0, 0), p.at(0, 2));
+}
+
+TEST(Sequential, PredictMatchesArgmaxOfProbs) {
+  Rng rng(4);
+  auto model = tiny_mlp(rng);
+  Tensor in({6, 4});
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  const auto labels = model.predict(in);
+  const Tensor probs = model.predict_proba(in);
+  ASSERT_EQ(labels.size(), 6u);
+  for (std::size_t b = 0; b < 6; ++b) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < 3; ++c)
+      if (probs.at(b, c) > probs.at(b, best)) best = c;
+    EXPECT_EQ(labels[b], best);
+  }
+}
+
+TEST(Sequential, DeterministicForward) {
+  Rng rng(5);
+  auto model = tiny_mlp(rng);
+  Tensor in({1, 4});
+  in.at(0, 2) = 1.5f;
+  const Tensor a = model.forward(in);
+  const Tensor b = model.forward(in);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace cea::nn

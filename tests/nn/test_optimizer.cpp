@@ -1,0 +1,165 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/train.h"
+
+namespace cea::nn {
+namespace {
+
+Sequential quadratic_probe(std::uint64_t seed) {
+  Rng rng(seed);
+  Sequential model("probe");
+  model.emplace<Dense>(3, 2, rng);
+  return model;
+}
+
+/// One forward/backward pass of 0.5*||out||^2 accumulating gradients.
+double accumulate_quadratic_loss(Sequential& model, const Tensor& input) {
+  const Tensor out = model.forward(input);
+  double value = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    value += 0.5 * static_cast<double>(out[i]) * out[i];
+  model.backward(out);
+  return value;
+}
+
+Tensor probe_input(std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor input({4, 3});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  return input;
+}
+
+TEST(SgdOptimizer, MatchesApplyGradients) {
+  auto a = quadratic_probe(1);
+  auto b = quadratic_probe(1);
+  const Tensor input = probe_input(2);
+  accumulate_quadratic_loss(a, input);
+  accumulate_quadratic_loss(b, input);
+  a.apply_gradients(0.05f);
+  SgdOptimizer sgd(0.05f);
+  sgd.step(b);
+  const Tensor out_a = a.forward(input);
+  const Tensor out_b = b.forward(input);
+  for (std::size_t i = 0; i < out_a.size(); ++i)
+    EXPECT_EQ(out_a[i], out_b[i]);
+}
+
+TEST(SgdOptimizer, WeightDecayShrinksParameters) {
+  auto model = quadratic_probe(3);
+  double norm_before = 0.0;
+  model.visit_parameters([&](std::span<float> block) {
+    for (float v : block) norm_before += v * v;
+  });
+  // Zero gradients: only decay acts.
+  SgdOptimizer sgd(0.1f, /*weight_decay=*/0.5f);
+  sgd.step(model);
+  double norm_after = 0.0;
+  model.visit_parameters([&](std::span<float> block) {
+    for (float v : block) norm_after += v * v;
+  });
+  EXPECT_LT(norm_after, norm_before);
+}
+
+TEST(MomentumOptimizer, AcceleratesOnConstantGradient) {
+  // With a constant gradient direction momentum takes strictly larger steps
+  // than plain SGD after the first update.
+  auto sgd_model = quadratic_probe(4);
+  auto mom_model = quadratic_probe(4);
+  const Tensor input = probe_input(5);
+  SgdOptimizer sgd(0.01f);
+  MomentumOptimizer momentum(0.01f, 0.9f);
+  double sgd_loss = 0.0, mom_loss = 0.0;
+  for (int iter = 0; iter < 15; ++iter) {
+    sgd_loss = accumulate_quadratic_loss(sgd_model, input);
+    sgd.step(sgd_model);
+    mom_loss = accumulate_quadratic_loss(mom_model, input);
+    momentum.step(mom_model);
+  }
+  EXPECT_LT(mom_loss, sgd_loss);
+}
+
+TEST(AdamOptimizer, ReducesLoss) {
+  auto model = quadratic_probe(6);
+  const Tensor input = probe_input(7);
+  AdamOptimizer adam(0.05f);
+  const double before = accumulate_quadratic_loss(model, input);
+  adam.step(model);
+  for (int iter = 0; iter < 30; ++iter) {
+    accumulate_quadratic_loss(model, input);
+    adam.step(model);
+  }
+  const double after = accumulate_quadratic_loss(model, input);
+  model.visit_gradients([](std::span<float>, std::span<float> grads) {
+    for (auto& g : grads) g = 0.0f;  // discard probe gradients
+  });
+  EXPECT_LT(after, before * 0.2);
+  EXPECT_EQ(adam.steps_taken(), 31u);
+}
+
+TEST(Optimizers, GradientsClearedAfterStep) {
+  auto model = quadratic_probe(8);
+  const Tensor input = probe_input(9);
+  accumulate_quadratic_loss(model, input);
+  AdamOptimizer adam(0.01f);
+  adam.step(model);
+  model.visit_gradients([](std::span<float>, std::span<float> grads) {
+    for (float g : grads) EXPECT_EQ(g, 0.0f);
+  });
+}
+
+TEST(TrainWithOptimizer, AdamLearnsBlobs) {
+  Rng rng(10);
+  Tensor samples({120, 2});
+  std::vector<std::size_t> labels(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    const std::size_t cls = i % 2;
+    samples.at(i, 0) =
+        static_cast<float>(rng.normal(cls == 0 ? -2.0 : 2.0, 0.5));
+    samples.at(i, 1) = static_cast<float>(rng.normal(0.0, 0.5));
+    labels[i] = cls;
+  }
+  Sequential model("clf");
+  model.emplace<Dense>(2, 8, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(8, 2, rng);
+  AdamOptimizer adam(0.01f);
+  TrainConfig config;
+  config.epochs = 6;
+  config.batch_size = 16;
+  const auto losses =
+      train_with_optimizer(model, adam, samples, labels, config, rng);
+  EXPECT_LT(losses.back(), losses.front() * 0.5);
+  EXPECT_GT(evaluate(model, samples, labels).accuracy, 0.95);
+}
+
+TEST(TrainWithOptimizer, MomentumLearnsBlobs) {
+  Rng rng(11);
+  Tensor samples({120, 2});
+  std::vector<std::size_t> labels(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    const std::size_t cls = i % 2;
+    samples.at(i, 0) =
+        static_cast<float>(rng.normal(cls == 0 ? -1.5 : 1.5, 0.5));
+    samples.at(i, 1) = static_cast<float>(rng.normal(0.0, 0.5));
+    labels[i] = cls;
+  }
+  Sequential model("clf");
+  model.emplace<Dense>(2, 8, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(8, 2, rng);
+  MomentumOptimizer momentum(0.02f, 0.9f);
+  TrainConfig config;
+  config.epochs = 6;
+  config.batch_size = 16;
+  const auto losses =
+      train_with_optimizer(model, momentum, samples, labels, config, rng);
+  EXPECT_LT(losses.back(), losses.front() * 0.6);
+}
+
+}  // namespace
+}  // namespace cea::nn

@@ -1,0 +1,109 @@
+#include "nn/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nn/layers.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+
+namespace cea::nn {
+namespace {
+
+Sequential make_probe(std::uint64_t seed) {
+  Rng rng(seed);
+  Sequential model("probe");
+  model.emplace<Dense>(8, 16, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(16, 4, rng);
+  return model;
+}
+
+TEST(Quantize, ReportCountsAllParameters) {
+  auto model = make_probe(1);
+  const auto report = quantize_model(model, 8);
+  EXPECT_EQ(report.parameter_count, model.parameter_count());
+  EXPECT_EQ(report.bits, 8u);
+}
+
+TEST(Quantize, SizeScalesWithBits) {
+  auto model = make_probe(2);
+  EXPECT_NEAR(quantized_size_mb(model, 8), model.size_mb() / 4.0, 1e-12);
+  EXPECT_NEAR(quantized_size_mb(model, 4), model.size_mb() / 8.0, 1e-12);
+  EXPECT_NEAR(quantized_size_mb(model, 16), model.size_mb() / 2.0, 1e-12);
+}
+
+TEST(Quantize, EightBitErrorIsSmall) {
+  auto model = make_probe(3);
+  const auto report = quantize_model(model, 8);
+  // Per-block scale = max/127, so error <= scale/2; He-init weights are
+  // well below 2 in magnitude.
+  EXPECT_LT(report.max_abs_error, 0.01);
+  EXPECT_LT(report.mean_abs_error, report.max_abs_error + 1e-12);
+}
+
+TEST(Quantize, LowerBitsMoreError) {
+  auto a = make_probe(4);
+  auto b = make_probe(4);  // identical init
+  const auto r8 = quantize_model(a, 8);
+  const auto r3 = quantize_model(b, 3);
+  EXPECT_GT(r3.max_abs_error, r8.max_abs_error);
+}
+
+TEST(Quantize, ValuesLandOnGrid) {
+  auto model = make_probe(5);
+  quantize_model(model, 4);
+  // 4-bit symmetric grid: at most 2*(2^3-1)+1 = 15 distinct values per
+  // block.
+  model.visit_parameters([](std::span<float> block) {
+    std::set<float> distinct(block.begin(), block.end());
+    EXPECT_LE(distinct.size(), 15u);
+  });
+}
+
+TEST(Quantize, Idempotent) {
+  auto model = make_probe(6);
+  quantize_model(model, 6);
+  std::vector<float> first;
+  model.visit_parameters([&](std::span<float> block) {
+    first.insert(first.end(), block.begin(), block.end());
+  });
+  const auto second_report = quantize_model(model, 6);
+  std::vector<float> second;
+  model.visit_parameters([&](std::span<float> block) {
+    second.insert(second.end(), block.begin(), block.end());
+  });
+  EXPECT_EQ(first, second);
+  EXPECT_NEAR(second_report.max_abs_error, 0.0, 1e-12);
+}
+
+TEST(Quantize, EightBitPreservesTrainedAccuracy) {
+  // Train a separable classifier, quantize, and verify accuracy barely
+  // moves — the property the carbon-aware quantization extension relies on.
+  Rng rng(7);
+  Tensor samples({200, 2});
+  std::vector<std::size_t> labels(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const std::size_t cls = i % 2;
+    samples.at(i, 0) =
+        static_cast<float>(rng.normal(cls == 0 ? -2.0 : 2.0, 0.5));
+    samples.at(i, 1) = static_cast<float>(rng.normal(0.0, 0.5));
+    labels[i] = cls;
+  }
+  Sequential model("clf");
+  model.emplace<Dense>(2, 8, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(8, 2, rng);
+  TrainConfig config;
+  config.epochs = 6;
+  train_sgd(model, samples, labels, config, rng);
+  const double before = evaluate(model, samples, labels).accuracy;
+  quantize_model(model, 8);
+  const double after = evaluate(model, samples, labels).accuracy;
+  EXPECT_GT(before, 0.95);
+  EXPECT_GT(after, before - 0.02);
+}
+
+}  // namespace
+}  // namespace cea::nn

@@ -1,0 +1,110 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "nn/layers.h"
+#include "nn/zoo.h"
+
+namespace cea::nn {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "cea_model_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+Sequential make_probe(std::uint64_t seed) {
+  Rng rng(seed);
+  Sequential model("probe");
+  model.emplace<Dense>(6, 8, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(8, 3, rng);
+  return model;
+}
+
+TEST_F(SerializeTest, RoundTripReproducesOutputs) {
+  auto original = make_probe(1);
+  Tensor input({2, 6});
+  Rng in_rng(9);
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(in_rng.normal(0.0, 1.0));
+  const Tensor before = original.forward(input);
+
+  save_model(original, path_);
+  auto restored = make_probe(999);  // different init, same structure
+  load_model(restored, path_);
+  const Tensor after = restored.forward(input);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(after[i], before[i]);
+}
+
+TEST_F(SerializeTest, RoundTripConvolutionalZooModel) {
+  Rng rng(2);
+  auto model = make_lenet5("lenet", mnist_spec(), 0.5, rng);
+  save_model(model, path_);
+  Rng rng2(77);
+  auto restored = make_lenet5("lenet", mnist_spec(), 0.5, rng2);
+  load_model(restored, path_);
+  Tensor input({1, 1, 28, 28});
+  input.fill(0.25f);
+  const Tensor a = model.forward(input);
+  const Tensor b = restored.forward(input);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_F(SerializeTest, RejectsParameterCountMismatch) {
+  auto original = make_probe(3);
+  save_model(original, path_);
+  Rng rng(4);
+  Sequential different("other");
+  different.emplace<Dense>(6, 4, rng);  // smaller
+  EXPECT_THROW(load_model(different, path_), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsGarbageFile) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  auto model = make_probe(5);
+  EXPECT_THROW(load_model(model, path_), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsMissingFile) {
+  auto model = make_probe(6);
+  EXPECT_THROW(load_model(model, "/nonexistent/xyz.bin"),
+               std::runtime_error);
+  EXPECT_THROW(save_model(model, "/nonexistent/xyz.bin"),
+               std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsTruncatedPayload) {
+  auto original = make_probe(7);
+  save_model(original, path_);
+  // Truncate the file to cut into the payload.
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  auto model = make_probe(8);
+  EXPECT_THROW(load_model(model, path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cea::nn

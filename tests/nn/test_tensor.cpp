@@ -1,0 +1,77 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace cea::nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({4, 3, 8, 8});
+  EXPECT_EQ(t.rank(), 4u);
+  EXPECT_EQ(t.dim(0), 4u);
+  EXPECT_EQ(t.dim(3), 8u);
+  EXPECT_EQ(t.size(), 4u * 3u * 8u * 8u);
+}
+
+TEST(Tensor, TwoDimAccessorRowMajor) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t[1 * 3 + 2], 5.0f);
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+}
+
+TEST(Tensor, FourDimAccessorLayout) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  const std::size_t expected = ((1 * 3 + 2) * 4 + 3) * 5 + 4;
+  EXPECT_EQ(t[expected], 9.0f);
+}
+
+TEST(Tensor, FillSetsEveryElement) {
+  Tensor t({3, 3});
+  t.fill(2.5f);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.rank(), 2u);
+  EXPECT_EQ(r.dim(0), 3u);
+  for (std::size_t i = 0; i < r.size(); ++i)
+    EXPECT_EQ(r[i], static_cast<float>(i));
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a({2, 2});
+  Tensor b = a;
+  b[0] = 7.0f;
+  EXPECT_EQ(a[0], 0.0f);
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor t({2, 3, 28, 28});
+  EXPECT_EQ(t.shape_string(), "(2, 3, 28, 28)");
+}
+
+TEST(Tensor, ShapeSizeHelper) {
+  EXPECT_EQ(Tensor::shape_size({2, 3, 4}), 24u);
+  EXPECT_EQ(Tensor::shape_size({}), 0u);
+}
+
+}  // namespace
+}  // namespace cea::nn

@@ -1,0 +1,114 @@
+#include "nn/train.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+
+namespace cea::nn {
+namespace {
+
+/// Linearly separable 2-D two-class blobs.
+void make_blobs(std::size_t per_class, Tensor& samples,
+                std::vector<std::size_t>& labels, Rng& rng) {
+  samples = Tensor({2 * per_class, 2});
+  labels.assign(2 * per_class, 0);
+  for (std::size_t i = 0; i < 2 * per_class; ++i) {
+    const std::size_t cls = i % 2;
+    const double cx = cls == 0 ? -2.0 : 2.0;
+    samples.at(i, 0) = static_cast<float>(rng.normal(cx, 0.6));
+    samples.at(i, 1) = static_cast<float>(rng.normal(cls == 0 ? 1.0 : -1.0, 0.6));
+    labels[i] = cls;
+  }
+}
+
+TEST(GatherRows, CopiesSelectedRows) {
+  Tensor samples({3, 2});
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    samples[i] = static_cast<float>(i);
+  const std::vector<std::size_t> idx = {2, 0};
+  const Tensor out = gather_rows(samples, idx);
+  EXPECT_EQ(out.dim(0), 2u);
+  EXPECT_EQ(out.at(0, 0), 4.0f);
+  EXPECT_EQ(out.at(0, 1), 5.0f);
+  EXPECT_EQ(out.at(1, 0), 0.0f);
+}
+
+TEST(GatherLabels, Selects) {
+  const std::vector<std::size_t> labels = {9, 8, 7};
+  const std::vector<std::size_t> idx = {1, 1, 2};
+  const auto out = gather_labels(labels, idx);
+  EXPECT_EQ(out, (std::vector<std::size_t>{8, 8, 7}));
+}
+
+TEST(TrainSgd, LossDecreasesOnSeparableData) {
+  Rng rng(42);
+  Tensor samples;
+  std::vector<std::size_t> labels;
+  make_blobs(100, samples, labels, rng);
+
+  Sequential model("clf");
+  model.emplace<Dense>(2, 16, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(16, 2, rng);
+
+  TrainConfig config;
+  config.epochs = 8;
+  config.batch_size = 16;
+  config.learning_rate = 0.1f;
+  const auto losses = train_sgd(model, samples, labels, config, rng);
+  ASSERT_EQ(losses.size(), 8u);
+  EXPECT_LT(losses.back(), losses.front() * 0.5);
+}
+
+TEST(TrainSgd, ReachesHighAccuracyOnSeparableData) {
+  Rng rng(43);
+  Tensor samples;
+  std::vector<std::size_t> labels;
+  make_blobs(150, samples, labels, rng);
+
+  Sequential model("clf");
+  model.emplace<Dense>(2, 16, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(16, 2, rng);
+
+  TrainConfig config;
+  config.epochs = 10;
+  config.batch_size = 16;
+  config.learning_rate = 0.1f;
+  train_sgd(model, samples, labels, config, rng);
+
+  Tensor test_samples;
+  std::vector<std::size_t> test_labels;
+  make_blobs(100, test_samples, test_labels, rng);
+  const auto eval = evaluate(model, test_samples, test_labels);
+  EXPECT_GT(eval.accuracy, 0.95);
+}
+
+TEST(Evaluate, EmptySetReturnsZeros) {
+  Rng rng(44);
+  Sequential model("clf");
+  model.emplace<Dense>(2, 2, rng);
+  Tensor samples({0, 2});
+  const auto eval = evaluate(model, samples, {});
+  EXPECT_DOUBLE_EQ(eval.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(eval.cross_entropy, 0.0);
+}
+
+TEST(Evaluate, BatchingInvariance) {
+  Rng rng(45);
+  Tensor samples;
+  std::vector<std::size_t> labels;
+  make_blobs(37, samples, labels, rng);  // odd size to hit a partial batch
+  Sequential model("clf");
+  model.emplace<Dense>(2, 4, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(4, 2, rng);
+  const auto a = evaluate(model, samples, labels, 8);
+  const auto b = evaluate(model, samples, labels, 1000);
+  EXPECT_NEAR(a.accuracy, b.accuracy, 1e-12);
+  EXPECT_NEAR(a.cross_entropy, b.cross_entropy, 1e-9);
+}
+
+}  // namespace
+}  // namespace cea::nn

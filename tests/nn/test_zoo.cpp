@@ -1,0 +1,92 @@
+#include "nn/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cea::nn {
+namespace {
+
+TEST(Zoo, MnistZooHasSixDistinctModels) {
+  Rng rng(1);
+  auto zoo = make_mnist_zoo(rng);
+  ASSERT_EQ(zoo.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& m : zoo) names.insert(m.name());
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(Zoo, CifarZooHasSixDistinctModels) {
+  Rng rng(2);
+  auto zoo = make_cifar_zoo(rng);
+  ASSERT_EQ(zoo.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& m : zoo) names.insert(m.name());
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(Zoo, MnistModelsForwardCorrectShape) {
+  Rng rng(3);
+  auto zoo = make_mnist_zoo(rng);
+  Tensor input({2, 1, 28, 28});
+  for (auto& model : zoo) {
+    const Tensor out = model.forward(input);
+    EXPECT_EQ(out.dim(0), 2u) << model.name();
+    EXPECT_EQ(out.dim(1), 10u) << model.name();
+  }
+}
+
+TEST(Zoo, CifarModelsForwardCorrectShape) {
+  Rng rng(4);
+  auto zoo = make_cifar_zoo(rng);
+  Tensor input({2, 3, 32, 32});
+  for (auto& model : zoo) {
+    const Tensor out = model.forward(input);
+    EXPECT_EQ(out.dim(0), 2u) << model.name();
+    EXPECT_EQ(out.dim(1), 10u) << model.name();
+  }
+}
+
+TEST(Zoo, SizesVaryAcrossModels) {
+  Rng rng(5);
+  auto zoo = make_mnist_zoo(rng);
+  std::set<std::size_t> sizes;
+  for (const auto& m : zoo) sizes.insert(m.parameter_count());
+  EXPECT_GE(sizes.size(), 5u);  // essentially all distinct
+}
+
+TEST(Zoo, HalfVariantsAreSmaller) {
+  Rng rng(6);
+  const InputSpec spec = mnist_spec();
+  auto full = make_lenet5("full", spec, 1.0, rng);
+  auto half = make_lenet5("half", spec, 0.5, rng);
+  EXPECT_LT(half.parameter_count(), full.parameter_count());
+}
+
+TEST(Zoo, MobilenetWidthScaling) {
+  Rng rng(7);
+  const InputSpec spec = cifar_spec();
+  auto full = make_mobilenet_lite("w1", spec, 1.0, rng);
+  auto half = make_mobilenet_lite("w05", spec, 0.5, rng);
+  EXPECT_LT(half.parameter_count(), full.parameter_count());
+  Tensor input({1, 3, 32, 32});
+  EXPECT_EQ(full.forward(input).dim(1), 10u);
+  EXPECT_EQ(half.forward(input).dim(1), 10u);
+}
+
+TEST(Zoo, MlpParameterCountExact) {
+  Rng rng(8);
+  auto mlp = make_mlp("m", mnist_spec(), 64, rng);
+  EXPECT_EQ(mlp.parameter_count(), 784u * 64u + 64u + 64u * 10u + 10u);
+}
+
+TEST(Zoo, SpecsMatchPaper) {
+  EXPECT_EQ(mnist_spec().channels, 1u);
+  EXPECT_EQ(mnist_spec().height, 28u);
+  EXPECT_EQ(cifar_spec().channels, 3u);
+  EXPECT_EQ(cifar_spec().width, 32u);
+  EXPECT_EQ(mnist_spec().classes, 10u);
+}
+
+}  // namespace
+}  // namespace cea::nn

@@ -1,0 +1,85 @@
+#include "opt/brent.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cea {
+namespace {
+
+TEST(BrentRoot, LinearFunction) {
+  const auto r = brent_root([](double x) { return 2.0 * x - 4.0; }, 0.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 2.0, 1e-10);
+}
+
+TEST(BrentRoot, Quadratic) {
+  const auto r = brent_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(BrentRoot, Transcendental) {
+  const auto r =
+      brent_root([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.7390851332151607, 1e-10);
+}
+
+TEST(BrentRoot, RootAtEndpoint) {
+  const auto r = brent_root([](double x) { return x - 1.0; }, 1.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 1.0);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(BrentRoot, FailsWithoutSignChange) {
+  const auto r = brent_root([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(BrentRoot, SteepFunction) {
+  const auto r = brent_root(
+      [](double x) { return std::exp(20.0 * x) - 3.0; }, -1.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::log(3.0) / 20.0, 1e-9);
+}
+
+TEST(BrentRoot, FlatNearRoot) {
+  const auto r = brent_root([](double x) { return std::pow(x - 1.0, 3); },
+                            0.0, 3.0, 1e-10, 500);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.0, 1e-3);
+}
+
+TEST(BrentMinimize, Parabola) {
+  const auto r = brent_minimize(
+      [](double x) { return (x - 3.0) * (x - 3.0) + 1.0; }, 0.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 3.0, 1e-6);
+  EXPECT_NEAR(r.fx, 1.0, 1e-10);
+}
+
+TEST(BrentMinimize, AsymmetricFunction) {
+  const auto r = brent_minimize(
+      [](double x) { return std::exp(x) - 2.0 * x; }, -2.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::log(2.0), 1e-6);
+}
+
+TEST(BrentMinimize, BoundaryMinimum) {
+  // Monotone increasing: minimizer at the left bracket edge.
+  const auto r = brent_minimize([](double x) { return x; }, 1.0, 5.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.0, 1e-4);
+}
+
+TEST(BrentMinimize, Sinusoid) {
+  const auto r = brent_minimize([](double x) { return std::sin(x); }, 3.0, 6.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 4.71238898, 1e-5);  // 3*pi/2
+  EXPECT_NEAR(r.fx, -1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,89 @@
+#include "opt/projection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cea {
+namespace {
+
+double sum_of(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+TEST(SimplexProjection, PointAlreadyOnSimplex) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  const auto projected = project_to_simplex(p);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    EXPECT_NEAR(projected[i], p[i], 1e-12);
+}
+
+TEST(SimplexProjection, UniformFromSymmetricPoint) {
+  const std::vector<double> p = {5.0, 5.0, 5.0, 5.0};
+  const auto projected = project_to_simplex(p);
+  for (double v : projected) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(SimplexProjection, ClampsDominatedCoordinates) {
+  const std::vector<double> p = {10.0, 0.0};
+  const auto projected = project_to_simplex(p);
+  EXPECT_NEAR(projected[0], 1.0, 1e-12);
+  EXPECT_NEAR(projected[1], 0.0, 1e-12);
+}
+
+TEST(SimplexProjection, NegativeCoordinatesHandled) {
+  const std::vector<double> p = {-1.0, 0.5, 0.7};
+  const auto projected = project_to_simplex(p);
+  EXPECT_NEAR(sum_of(projected), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(projected[0], 0.0);
+  for (double v : projected) EXPECT_GE(v, 0.0);
+}
+
+TEST(SimplexProjection, RandomPointsFeasibleAndOptimal) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> p(5);
+    for (auto& v : p) v = rng.uniform(-2.0, 2.0);
+    const auto projected = project_to_simplex(p);
+    // Feasibility.
+    ASSERT_NEAR(sum_of(projected), 1.0, 1e-9);
+    for (double v : projected) ASSERT_GE(v, -1e-12);
+    // Optimality: no feasible perturbation may be closer to p.
+    auto distance_sq = [&](const std::vector<double>& q) {
+      double d = 0.0;
+      for (std::size_t i = 0; i < p.size(); ++i)
+        d += (q[i] - p[i]) * (q[i] - p[i]);
+      return d;
+    };
+    const double best = distance_sq(projected);
+    for (int probe = 0; probe < 20; ++probe) {
+      auto q = projected;
+      const auto i = static_cast<std::size_t>(rng.uniform_int(0, 4));
+      auto j = static_cast<std::size_t>(rng.uniform_int(0, 3));
+      if (j >= i) ++j;
+      const double delta = rng.uniform(0.0, 0.3) * std::min(q[i], 1.0);
+      q[i] -= delta;
+      q[j] += delta;
+      ASSERT_GE(distance_sq(q), best - 1e-9);
+    }
+  }
+}
+
+TEST(BoxProjection, Clamps) {
+  const std::vector<double> p = {-1.0, 0.5, 3.0};
+  const auto projected = project_to_box(p, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(projected[0], 0.0);
+  EXPECT_DOUBLE_EQ(projected[1], 0.5);
+  EXPECT_DOUBLE_EQ(projected[2], 2.0);
+}
+
+TEST(BoxProjection, EmptyInput) {
+  EXPECT_TRUE(project_to_box({}, 0.0, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace cea

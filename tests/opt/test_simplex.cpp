@@ -1,0 +1,170 @@
+#include "opt/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cea {
+namespace {
+
+LpConstraint row(std::vector<double> coeffs, Relation rel, double rhs) {
+  return {std::move(coeffs), rel, rhs};
+}
+
+TEST(Simplex, TrivialEmptyProblem) {
+  LpProblem p;
+  const auto s = solve_lp(p);
+  EXPECT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_TRUE(s.x.empty());
+}
+
+TEST(Simplex, TwoVariableMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic example).
+  LpProblem p;
+  p.objective = {3.0, 5.0};
+  p.maximize = true;
+  p.constraints = {
+      row({1.0, 0.0}, Relation::kLessEqual, 4.0),
+      row({0.0, 2.0}, Relation::kLessEqual, 12.0),
+      row({3.0, 2.0}, Relation::kLessEqual, 18.0),
+  };
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-8);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-8);
+}
+
+TEST(Simplex, MinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 2.
+  LpProblem p;
+  p.objective = {2.0, 3.0};
+  p.constraints = {
+      row({1.0, 1.0}, Relation::kGreaterEqual, 10.0),
+      row({1.0, 0.0}, Relation::kGreaterEqual, 2.0),
+  };
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  // All weight on the cheaper variable x.
+  EXPECT_NEAR(s.objective, 20.0, 1e-8);
+  EXPECT_NEAR(s.x[0], 10.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 5, y >= 1.
+  LpProblem p;
+  p.objective = {1.0, 2.0};
+  p.constraints = {
+      row({1.0, 1.0}, Relation::kEqual, 5.0),
+      row({0.0, 1.0}, Relation::kGreaterEqual, 1.0),
+  };
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 1.0, 1e-8);
+  EXPECT_NEAR(s.objective, 6.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 1 and x >= 3.
+  LpProblem p;
+  p.objective = {1.0};
+  p.constraints = {
+      row({1.0}, Relation::kLessEqual, 1.0),
+      row({1.0}, Relation::kGreaterEqual, 3.0),
+  };
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // max x with x >= 0 only.
+  LpProblem p;
+  p.objective = {1.0};
+  p.maximize = true;
+  p.constraints = {row({1.0}, Relation::kGreaterEqual, 0.0)};
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -4  (i.e. x >= 4).
+  LpProblem p;
+  p.objective = {1.0};
+  p.constraints = {row({-1.0}, Relation::kLessEqual, -4.0)};
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic cycling-prone structure; Bland's rule must terminate.
+  LpProblem p;
+  p.objective = {-0.75, 150.0, -0.02, 6.0};
+  p.constraints = {
+      row({0.25, -60.0, -0.04, 9.0}, Relation::kLessEqual, 0.0),
+      row({0.5, -90.0, -0.02, 3.0}, Relation::kLessEqual, 0.0),
+      row({0.0, 0.0, 1.0, 0.0}, Relation::kLessEqual, 1.0),
+  };
+  const auto s = solve_lp(p);
+  EXPECT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-6);
+}
+
+TEST(Simplex, RedundantConstraintsHandled) {
+  LpProblem p;
+  p.objective = {1.0, 1.0};
+  p.constraints = {
+      row({1.0, 1.0}, Relation::kEqual, 4.0),
+      row({2.0, 2.0}, Relation::kEqual, 8.0),  // redundant duplicate
+  };
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-8);
+}
+
+TEST(Simplex, BoxConstrainedArbitrage) {
+  // Mimics offline trading: buy cheap (cost 2) sell dear (earn 3), both
+  // capped at 5, sell cannot exceed buy. Expect full-cap arbitrage.
+  LpProblem p;
+  p.objective = {2.0, -3.0};  // minimize 2 z - 3 w
+  p.constraints = {
+      row({1.0, 0.0}, Relation::kLessEqual, 5.0),
+      row({0.0, 1.0}, Relation::kLessEqual, 5.0),
+      row({-1.0, 1.0}, Relation::kLessEqual, 0.0),  // w <= z
+  };
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 5.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 5.0, 1e-8);
+  EXPECT_NEAR(s.objective, -5.0, 1e-8);
+}
+
+TEST(Simplex, MediumRandomProblemConsistency) {
+  // A 12-var problem with known optimum by construction: min sum x_i
+  // s.t. x_i >= i for each i — optimum is the sum of the bounds.
+  const std::size_t n = 12;
+  LpProblem p;
+  p.objective.assign(n, 1.0);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> coeffs(n, 0.0);
+    coeffs[i] = 1.0;
+    p.constraints.push_back(
+        row(std::move(coeffs), Relation::kGreaterEqual,
+            static_cast<double>(i)));
+    expected += static_cast<double>(i);
+  }
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, expected, 1e-6);
+}
+
+TEST(SimplexStatus, ToStringNames) {
+  EXPECT_EQ(to_string(LpStatus::kOptimal), "optimal");
+  EXPECT_EQ(to_string(LpStatus::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(LpStatus::kUnbounded), "unbounded");
+  EXPECT_EQ(to_string(LpStatus::kIterationLimit), "iteration-limit");
+}
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,103 @@
+// Property test: on random 2-variable LPs the simplex optimum must match a
+// dense grid search over the feasible box (parameterized over seeds).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "opt/simplex.h"
+#include "util/rng.h"
+
+namespace cea {
+namespace {
+
+struct RandomLp {
+  LpProblem problem;
+  double box = 10.0;  // implicit x, y <= box rows are included
+};
+
+RandomLp make_random_lp(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomLp lp;
+  lp.problem.objective = {rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)};
+  const int rows = static_cast<int>(rng.uniform_int(1, 4));
+  for (int r = 0; r < rows; ++r) {
+    LpConstraint con;
+    con.coeffs = {rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)};
+    con.relation = rng.bernoulli(0.5) ? Relation::kLessEqual
+                                      : Relation::kGreaterEqual;
+    // Keep the origin-ish region feasible often enough.
+    con.rhs = con.relation == Relation::kLessEqual ? rng.uniform(1.0, 8.0)
+                                                   : rng.uniform(-8.0, 1.0);
+    lp.problem.constraints.push_back(std::move(con));
+  }
+  for (int v = 0; v < 2; ++v) {
+    LpConstraint box;
+    box.coeffs = {v == 0 ? 1.0 : 0.0, v == 1 ? 1.0 : 0.0};
+    box.relation = Relation::kLessEqual;
+    box.rhs = lp.box;
+    lp.problem.constraints.push_back(std::move(box));
+  }
+  return lp;
+}
+
+/// Grid-search reference optimum (400 x 400 over the box).
+double grid_optimum(const RandomLp& lp, bool& feasible) {
+  double best = std::numeric_limits<double>::infinity();
+  feasible = false;
+  const int n = 400;
+  for (int i = 0; i <= n; ++i) {
+    for (int j = 0; j <= n; ++j) {
+      const double x = lp.box * i / n;
+      const double y = lp.box * j / n;
+      bool ok = true;
+      for (const auto& con : lp.problem.constraints) {
+        const double lhs = con.coeffs[0] * x + con.coeffs[1] * y;
+        if (con.relation == Relation::kLessEqual && lhs > con.rhs + 1e-9)
+          ok = false;
+        if (con.relation == Relation::kGreaterEqual && lhs < con.rhs - 1e-9)
+          ok = false;
+        if (!ok) break;
+      }
+      if (!ok) continue;
+      feasible = true;
+      best = std::min(best,
+                      lp.problem.objective[0] * x + lp.problem.objective[1] * y);
+    }
+  }
+  return best;
+}
+
+class SimplexRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandom, MatchesGridSearch) {
+  const RandomLp lp = make_random_lp(GetParam());
+  bool grid_feasible = false;
+  const double grid_best = grid_optimum(lp, grid_feasible);
+  const auto solution = solve_lp(lp.problem);
+  if (!grid_feasible) {
+    EXPECT_EQ(solution.status, LpStatus::kInfeasible)
+        << "seed " << GetParam();
+    return;
+  }
+  ASSERT_EQ(solution.status, LpStatus::kOptimal) << "seed " << GetParam();
+  // Grid resolution bounds the reference error.
+  const double tolerance = 0.15;
+  EXPECT_NEAR(solution.objective, grid_best, tolerance)
+      << "seed " << GetParam();
+  // The simplex point must itself be feasible.
+  for (const auto& con : lp.problem.constraints) {
+    const double lhs = con.coeffs[0] * solution.x[0] +
+                       con.coeffs[1] * solution.x[1];
+    if (con.relation == Relation::kLessEqual)
+      EXPECT_LE(lhs, con.rhs + 1e-6);
+    else
+      EXPECT_GE(lhs, con.rhs - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace cea

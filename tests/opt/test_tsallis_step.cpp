@@ -1,0 +1,122 @@
+#include "opt/tsallis_step.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cea {
+namespace {
+
+double sum_of(const std::vector<double>& p) {
+  double s = 0.0;
+  for (double v : p) s += v;
+  return s;
+}
+
+TEST(TsallisStep, UniformForEqualLosses) {
+  const std::vector<double> losses = {5.0, 5.0, 5.0, 5.0};
+  const auto p = tsallis_probabilities(losses, 0.5);
+  for (double v : p) EXPECT_NEAR(v, 0.25, 1e-9);
+}
+
+TEST(TsallisStep, SingleArm) {
+  const std::vector<double> losses = {3.0};
+  const auto p = tsallis_probabilities(losses, 0.1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+}
+
+TEST(TsallisStep, SumsToOne) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> losses(6);
+    for (auto& l : losses) l = rng.uniform(0.0, 100.0);
+    const double eta = rng.uniform(0.01, 2.0);
+    const auto p = tsallis_probabilities(losses, eta);
+    EXPECT_NEAR(sum_of(p), 1.0, 1e-9);
+    for (double v : p) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(TsallisStep, LowerLossGetsHigherProbability) {
+  const std::vector<double> losses = {1.0, 5.0, 20.0};
+  const auto p = tsallis_probabilities(losses, 0.3);
+  EXPECT_GT(p[0], p[1]);
+  EXPECT_GT(p[1], p[2]);
+}
+
+TEST(TsallisStep, ShiftInvariance) {
+  // Adding a constant to all losses must not change the distribution.
+  const std::vector<double> a = {2.0, 7.0, 11.0};
+  std::vector<double> b = a;
+  for (auto& v : b) v += 123.0;
+  const auto pa = tsallis_probabilities(a, 0.4);
+  const auto pb = tsallis_probabilities(b, 0.4);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(pa[i], pb[i], 1e-9);
+}
+
+TEST(TsallisStep, SmallEtaApproachesUniform) {
+  const std::vector<double> losses = {0.0, 1.0, 2.0};
+  const auto p = tsallis_probabilities(losses, 1e-6);
+  for (double v : p) EXPECT_NEAR(v, 1.0 / 3.0, 1e-3);
+}
+
+TEST(TsallisStep, LargeEtaConcentratesOnBestArm) {
+  const std::vector<double> losses = {0.0, 10.0, 20.0};
+  const auto p = tsallis_probabilities(losses, 100.0);
+  EXPECT_GT(p[0], 0.98);
+}
+
+TEST(TsallisStep, SatisfiesKktOptimality) {
+  // The returned point must minimize the OMD objective over the simplex:
+  // compare against dense perturbations in feasible directions.
+  const std::vector<double> losses = {3.0, 1.0, 4.0, 1.5, 9.0};
+  const double eta = 0.7;
+  const auto p = tsallis_probabilities(losses, eta);
+  const double f_star = tsallis_step_objective(losses, eta, p);
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random feasible perturbation: move mass between two coordinates.
+    auto q = p;
+    const auto i = static_cast<std::size_t>(rng.uniform_int(0, 4));
+    auto j = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    if (j >= i) ++j;
+    const double delta = rng.uniform(0.0, 0.5) * std::min(q[i], 1.0 - q[j]);
+    q[i] -= delta;
+    q[j] += delta;
+    const double f_q = tsallis_step_objective(losses, eta, q);
+    EXPECT_GE(f_q, f_star - 1e-8);
+  }
+}
+
+TEST(TsallisStep, MatchesBruteForceOnTwoArms) {
+  // With two arms the simplex is 1-D: grid search the optimum directly.
+  const std::vector<double> losses = {2.0, 6.0};
+  const double eta = 0.5;
+  const auto p = tsallis_probabilities(losses, eta);
+  double best_q = 0.0, best_f = 1e300;
+  for (int i = 1; i < 10000; ++i) {
+    const double q = i / 10000.0;
+    const std::vector<double> cand = {q, 1.0 - q};
+    const double f = tsallis_step_objective(losses, eta, cand);
+    if (f < best_f) {
+      best_f = f;
+      best_q = q;
+    }
+  }
+  EXPECT_NEAR(p[0], best_q, 2e-4);
+}
+
+TEST(TsallisStep, HandlesHugeLossGaps) {
+  const std::vector<double> losses = {0.0, 1e9};
+  const auto p = tsallis_probabilities(losses, 0.5);
+  EXPECT_NEAR(sum_of(p), 1.0, 1e-9);
+  EXPECT_GT(p[0], 0.999);
+  EXPECT_GT(p[1], 0.0);
+}
+
+}  // namespace
+}  // namespace cea

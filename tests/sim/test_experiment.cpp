@@ -1,0 +1,103 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/regret.h"
+
+namespace cea::sim {
+namespace {
+
+SimConfig small_config() {
+  SimConfig config;
+  config.num_edges = 3;
+  config.horizon = 60;
+  config.workload.num_slots = 60;
+  config.workload.mean_samples = 400.0;
+  config.carbon_cap = 30.0;
+  config.loss_draw_cap = 64;
+  config.seed = 21;
+  return config;
+}
+
+TEST(Experiment, TwelveBaselineCombos) {
+  const auto combos = baseline_combos();
+  ASSERT_EQ(combos.size(), 12u);
+  std::set<std::string> names;
+  for (const auto& c : combos) names.insert(c.name);
+  EXPECT_EQ(names.size(), 12u);
+  EXPECT_TRUE(names.count("Ran-Ran"));
+  EXPECT_TRUE(names.count("UCB-LY"));
+  EXPECT_TRUE(names.count("TINF-TH"));
+  EXPECT_TRUE(names.count("Greedy-LY"));
+}
+
+TEST(Experiment, AllCombosIncludesOursFirst) {
+  const auto combos = all_combos();
+  ASSERT_EQ(combos.size(), 13u);
+  EXPECT_EQ(combos[0].name, "Ours");
+}
+
+TEST(Experiment, RunComboProducesResult) {
+  const auto env = Environment::make_parametric(small_config());
+  const auto result = run_combo(env, ours_combo(), 1);
+  EXPECT_EQ(result.horizon(), 60u);
+  EXPECT_EQ(result.algorithm, "Ours");
+  // Total cost can be negative when the scenario has allowance surplus to
+  // sell; the physical components must still be positive.
+  EXPECT_GT(result.total_inference_cost(), 0.0);
+  EXPECT_GT(result.total_switching_cost(), 0.0);
+  EXPECT_TRUE(std::isfinite(result.total_cost()));
+}
+
+TEST(Experiment, AveragedRunSmoothsVariance) {
+  const auto env = Environment::make_parametric(small_config());
+  const auto combo = ours_combo();
+  const auto avg = run_combo_averaged(env, combo, 4, 100);
+  EXPECT_EQ(avg.horizon(), 60u);
+  EXPECT_GT(avg.total_inference_cost(), 0.0);
+  EXPECT_TRUE(std::isfinite(avg.total_cost()));
+}
+
+TEST(Experiment, OfflineUsesBestModels) {
+  const auto env = Environment::make_parametric(small_config());
+  const auto result = run_offline(env, 1);
+  EXPECT_EQ(result.algorithm, "Offline");
+  for (std::size_t i = 0; i < env.num_edges(); ++i) {
+    const std::size_t star = env.best_model(i);
+    EXPECT_EQ(result.selection_counts[i][star], 60u);
+  }
+  EXPECT_EQ(result.total_switches, env.num_edges());
+}
+
+TEST(Experiment, OfflineSatisfiesCarbonNeutrality) {
+  const auto env = Environment::make_parametric(small_config());
+  const auto result = run_offline(env, 2);
+  const double violation =
+      core::fit(result.emissions, result.buys, result.sells,
+                env.config().carbon_cap);
+  EXPECT_NEAR(violation, 0.0, 1e-5);
+}
+
+TEST(Experiment, OfflineBeatsRandomBaseline) {
+  const auto env = Environment::make_parametric(small_config());
+  const auto offline = run_offline_averaged(env, 3, 10);
+  const auto combos = baseline_combos();
+  const auto& ran_ran = combos.front();
+  ASSERT_EQ(ran_ran.name, "Ran-Ran");
+  const auto random = run_combo_averaged(env, ran_ran, 3, 10);
+  EXPECT_LT(offline.total_cost(), random.total_cost());
+}
+
+TEST(Experiment, OursBeatsRandomBaseline) {
+  const auto env = Environment::make_parametric(small_config());
+  const auto ours = run_combo_averaged(env, ours_combo(), 3, 20);
+  const auto combos = baseline_combos();
+  const auto random = run_combo_averaged(env, combos.front(), 3, 20);
+  EXPECT_LT(ours.total_cost(), random.total_cost());
+}
+
+}  // namespace
+}  // namespace cea::sim

@@ -1,0 +1,106 @@
+// Failure injection: outage slots (zero workload), price spikes beyond the
+// calibrated band, and pathological traces must neither crash the
+// simulator nor break its accounting invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/regret.h"
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+
+namespace cea::sim {
+namespace {
+
+SimConfig base_config() {
+  SimConfig config;
+  config.num_edges = 3;
+  config.horizon = 60;
+  config.workload.num_slots = 60;
+  config.workload.mean_samples = 500.0;
+  config.carbon_cap = 60.0;
+  config.loss_draw_cap = 32;
+  config.seed = 41;
+  return config;
+}
+
+TEST(FailureInjection, EdgeOutageSlots) {
+  // Edge 1 goes dark (zero arrivals) for a third of the horizon.
+  auto env = Environment::make_parametric(base_config());
+  auto workload = env.workload();
+  for (std::size_t t = 20; t < 40; ++t) workload[1][t] = 0;
+  env.replace_traces(std::move(workload), {});
+  const auto result = run_combo(env, ours_combo(), 3);
+  EXPECT_EQ(result.horizon(), 60u);
+  for (std::size_t t = 0; t < 60; ++t) {
+    EXPECT_TRUE(std::isfinite(result.inference_cost[t]));
+    EXPECT_GE(result.accuracy[t], 0.0);
+    EXPECT_LE(result.accuracy[t], 1.0);
+  }
+  // Outage reduces the recorded workload in those slots.
+  EXPECT_LT(result.workload[25], result.workload[5] * 1.5);
+}
+
+TEST(FailureInjection, TotalBlackoutSlot) {
+  // Every edge dark in one slot: accuracy is defined as 0, emissions only
+  // from downloads, and nothing crashes.
+  auto env = Environment::make_parametric(base_config());
+  auto workload = env.workload();
+  for (auto& trace : workload) trace[30] = 0;
+  env.replace_traces(std::move(workload), {});
+  const auto result = run_combo(env, ours_combo(), 4);
+  EXPECT_DOUBLE_EQ(result.workload[30], 0.0);
+  EXPECT_DOUBLE_EQ(result.accuracy[30], 0.0);
+  EXPECT_GE(result.emissions[30], 0.0);
+  EXPECT_TRUE(std::isfinite(result.settled_total_cost()));
+}
+
+TEST(FailureInjection, PriceSpike) {
+  // A 10x price spike mid-horizon: traders stay in the box, costs finite,
+  // and the online trader buys less during the spike than around it.
+  auto env = Environment::make_parametric(base_config());
+  data::PriceSeries prices = env.prices();
+  for (std::size_t t = 25; t < 35; ++t) {
+    prices.buy[t] *= 10.0;
+    prices.sell[t] = 0.9 * prices.buy[t];
+  }
+  env.replace_traces({}, std::move(prices));
+  const auto result = run_combo(env, ours_combo(), 5);
+  for (std::size_t t = 0; t < 60; ++t) {
+    EXPECT_LE(result.buys[t], env.config().max_trade_per_slot + 1e-9);
+    EXPECT_TRUE(std::isfinite(result.trading_cost[t]));
+  }
+  double spike_buys = 0.0, around_buys = 0.0;
+  for (std::size_t t = 26; t < 35; ++t) spike_buys += result.buys[t];
+  for (std::size_t t = 45; t < 54; ++t) around_buys += result.buys[t];
+  EXPECT_LE(spike_buys, around_buys + 1.0);
+}
+
+TEST(FailureInjection, PriceCollapse) {
+  // Prices collapse to near zero: selling becomes worthless; violation
+  // accounting still coherent.
+  auto env = Environment::make_parametric(base_config());
+  data::PriceSeries prices = env.prices();
+  for (std::size_t t = 0; t < prices.size(); ++t) {
+    prices.buy[t] = 0.01;
+    prices.sell[t] = 0.009;
+  }
+  env.replace_traces({}, std::move(prices));
+  const auto result = run_combo(env, ours_combo(), 6);
+  EXPECT_TRUE(std::isfinite(result.settled_total_cost()));
+  // Allowances are ~free: the trader ends close to neutral.
+  EXPECT_LT(result.violation(), 40.0);
+}
+
+TEST(FailureInjection, ExtremeWorkloadSpike) {
+  auto env = Environment::make_parametric(base_config());
+  auto workload = env.workload();
+  workload[0][10] = 5000000;  // 10000x a normal slot
+  env.replace_traces(std::move(workload), {});
+  const auto result = run_combo(env, ours_combo(), 7);
+  EXPECT_TRUE(std::isfinite(result.emissions[10]));
+  EXPECT_GT(result.emissions[10], result.emissions[9] * 10.0);
+}
+
+}  // namespace
+}  // namespace cea::sim

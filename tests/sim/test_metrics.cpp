@@ -1,0 +1,89 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cea::sim {
+namespace {
+
+RunResult make_result() {
+  RunResult r;
+  r.algorithm = "test";
+  r.inference_cost = {1.0, 2.0};
+  r.switching_cost = {0.5, 0.0};
+  r.trading_cost = {3.0, -1.0};
+  r.emissions = {4.0, 5.0};
+  r.buys = {2.0, 0.0};
+  r.sells = {0.0, 1.0};
+  r.accuracy = {0.8, 0.6};
+  r.workload = {100.0, 300.0};
+  r.selection_counts = {{1, 1}};
+  r.total_switches = 1;
+  return r;
+}
+
+TEST(RunResult, SlotTotalsAndCumulative) {
+  const auto r = make_result();
+  const auto slot = r.slot_total_cost();
+  ASSERT_EQ(slot.size(), 2u);
+  EXPECT_DOUBLE_EQ(slot[0], 4.5);
+  EXPECT_DOUBLE_EQ(slot[1], 1.0);
+  const auto cum = r.cumulative_total_cost();
+  EXPECT_DOUBLE_EQ(cum[1], 5.5);
+  EXPECT_DOUBLE_EQ(r.total_cost(), 5.5);
+}
+
+TEST(RunResult, ComponentTotals) {
+  const auto r = make_result();
+  EXPECT_DOUBLE_EQ(r.total_inference_cost(), 3.0);
+  EXPECT_DOUBLE_EQ(r.total_switching_cost(), 0.5);
+  EXPECT_DOUBLE_EQ(r.total_trading_cost(), 2.0);
+  EXPECT_DOUBLE_EQ(r.total_emissions(), 9.0);
+  EXPECT_DOUBLE_EQ(r.total_buys(), 2.0);
+  EXPECT_DOUBLE_EQ(r.total_sells(), 1.0);
+}
+
+TEST(RunResult, WorkloadWeightedAccuracy) {
+  const auto r = make_result();
+  EXPECT_NEAR(r.mean_accuracy(), (0.8 * 100 + 0.6 * 300) / 400.0, 1e-12);
+}
+
+TEST(RunResult, UnitPurchaseCost) {
+  const auto r = make_result();
+  // net quantity 1, net cost 2 -> unit cost 2.
+  EXPECT_DOUBLE_EQ(r.unit_purchase_cost(), 2.0);
+}
+
+TEST(RunResult, UnitPurchaseCostZeroNet) {
+  auto r = make_result();
+  r.buys = {1.0, 0.0};
+  r.sells = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(r.unit_purchase_cost(), 0.0);
+}
+
+TEST(AverageRuns, AveragesSeries) {
+  auto a = make_result();
+  auto b = make_result();
+  for (auto& v : b.inference_cost) v *= 3.0;
+  const auto avg = average_runs({a, b});
+  EXPECT_DOUBLE_EQ(avg.inference_cost[0], 2.0);  // (1+3)/2
+  EXPECT_DOUBLE_EQ(avg.inference_cost[1], 4.0);  // (2+6)/2
+}
+
+TEST(AverageRuns, SumsSelectionCountsAndAveragesSwitches) {
+  auto a = make_result();
+  auto b = make_result();
+  b.total_switches = 3;
+  const auto avg = average_runs({a, b});
+  EXPECT_EQ(avg.selection_counts[0][0], 2u);
+  EXPECT_EQ(avg.total_switches, 2u);
+}
+
+TEST(AverageRuns, SingleRunIdentity) {
+  const auto r = make_result();
+  const auto avg = average_runs({r});
+  EXPECT_EQ(avg.inference_cost, r.inference_cost);
+  EXPECT_EQ(avg.total_switches, r.total_switches);
+}
+
+}  // namespace
+}  // namespace cea::sim

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace cea::sim {
+namespace {
+
+SimConfig small_config() {
+  SimConfig config;
+  config.num_edges = 4;
+  config.horizon = 60;
+  config.workload.num_slots = 60;
+  config.workload.mean_samples = 300.0;
+  config.loss_draw_cap = 64;
+  config.seed = 9;
+  return config;
+}
+
+TEST(ParallelRunner, MatchesSerialBitForBit) {
+  const auto env = Environment::make_parametric(small_config());
+  const auto combo = ours_combo();
+  const auto serial = run_combo_averaged(env, combo, 6, 100);
+  const auto parallel = run_combo_averaged_parallel(env, combo, 6, 100, 3);
+  EXPECT_EQ(serial.inference_cost, parallel.inference_cost);
+  EXPECT_EQ(serial.buys, parallel.buys);
+  EXPECT_EQ(serial.accuracy, parallel.accuracy);
+  EXPECT_EQ(serial.total_switches, parallel.total_switches);
+  EXPECT_EQ(serial.selection_counts, parallel.selection_counts);
+}
+
+TEST(ParallelRunner, SingleThreadWorks) {
+  const auto env = Environment::make_parametric(small_config());
+  const auto combo = ours_combo();
+  const auto serial = run_combo_averaged(env, combo, 3, 7);
+  const auto parallel = run_combo_averaged_parallel(env, combo, 3, 7, 1);
+  EXPECT_EQ(serial.inference_cost, parallel.inference_cost);
+}
+
+TEST(ParallelRunner, MoreThreadsThanRuns) {
+  const auto env = Environment::make_parametric(small_config());
+  const auto combo = ours_combo();
+  const auto parallel = run_combo_averaged_parallel(env, combo, 2, 7, 16);
+  EXPECT_EQ(parallel.horizon(), 60u);
+}
+
+TEST(ParallelRunner, DefaultThreadCount) {
+  const auto env = Environment::make_parametric(small_config());
+  const auto combo = ours_combo();
+  const auto serial = run_combo_averaged(env, combo, 4, 21);
+  const auto parallel = run_combo_averaged_parallel(env, combo, 4, 21);
+  EXPECT_EQ(serial.trading_cost, parallel.trading_cost);
+}
+
+}  // namespace
+}  // namespace cea::sim

@@ -1,0 +1,61 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace cea::sim {
+namespace {
+
+SimConfig small_config() {
+  SimConfig config;
+  config.num_edges = 3;
+  config.horizon = 40;
+  config.workload.num_slots = 40;
+  config.workload.mean_samples = 300.0;
+  config.loss_draw_cap = 32;
+  config.seed = 17;
+  return config;
+}
+
+TEST(Report, ComparisonContainsAllAlgorithmsSortedByCost) {
+  const auto env = Environment::make_parametric(small_config());
+  const auto ours = run_combo(env, ours_combo(), 1);
+  const auto baseline = run_combo(env, baseline_combos().front(), 1);
+  const std::string report = comparison_report(env, {baseline, ours});
+  EXPECT_NE(report.find("Ours"), std::string::npos);
+  EXPECT_NE(report.find("Ran-Ran"), std::string::npos);
+  EXPECT_NE(report.find("Scenario: 3 edges"), std::string::npos);
+  // Sorted ascending by settled cost: the cheaper one appears first.
+  const auto pos_a = report.find(ours.algorithm + " ");
+  const auto pos_b = report.find(baseline.algorithm);
+  const bool ours_cheaper =
+      ours.settled_total_cost() < baseline.settled_total_cost();
+  EXPECT_EQ(pos_a < pos_b, ours_cheaper);
+}
+
+TEST(Report, RunReportSectionsPresent) {
+  const auto env = Environment::make_parametric(small_config());
+  const auto ours = run_combo(env, ours_combo(), 2);
+  const std::string report = run_report(env, ours);
+  EXPECT_NE(report.find("Cost breakdown"), std::string::npos);
+  EXPECT_NE(report.find("Per-edge hosting"), std::string::npos);
+  EXPECT_NE(report.find("Trading"), std::string::npos);
+  EXPECT_NE(report.find("hindsight"), std::string::npos);
+  // One hosting row per edge.
+  std::size_t rows = 0;
+  for (std::size_t i = 0; i < env.num_edges(); ++i) {
+    if (report.find("\n" + std::to_string(i) + " ") != std::string::npos)
+      ++rows;
+  }
+  EXPECT_EQ(rows, env.num_edges());
+}
+
+TEST(Report, EmptyResultsHandled) {
+  const auto env = Environment::make_parametric(small_config());
+  const std::string report = comparison_report(env, {});
+  EXPECT_NE(report.find("Scenario"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cea::sim

@@ -1,0 +1,126 @@
+#include "trading/offline_lp_trader.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cea::trading {
+namespace {
+
+TraderContext make_context(std::size_t horizon, double cap, double max_trade) {
+  TraderContext context;
+  context.horizon = horizon;
+  context.carbon_cap = cap;
+  context.max_trade_per_slot = max_trade;
+  return context;
+}
+
+TEST(OfflineLp, NoTradingNeededUnderCap) {
+  // Emissions fully covered by the cap; constant prices forbid arbitrage
+  // (sell < buy), so the optimum is pure selling of the surplus.
+  const std::vector<double> buy = {10.0, 10.0, 10.0};
+  const std::vector<double> sell = {9.0, 9.0, 9.0};
+  const std::vector<double> emissions = {1.0, 1.0, 1.0};
+  const auto plan =
+      solve_offline_trading(make_context(3, 100.0, 5.0), buy, sell, emissions);
+  ASSERT_TRUE(plan.feasible);
+  double total_buy = 0.0;
+  for (double z : plan.buy) total_buy += z;
+  EXPECT_NEAR(total_buy, 0.0, 1e-7);
+  // Selling surplus at 9 is profitable: expect max selling (capped).
+  double total_sell = 0.0;
+  for (double w : plan.sell) total_sell += w;
+  EXPECT_NEAR(total_sell, 15.0, 1e-6);  // 3 slots x cap 5
+  EXPECT_NEAR(plan.cost, -15.0 * 9.0, 1e-5);
+}
+
+TEST(OfflineLp, BuysAtCheapestSlotBeforeDeficit) {
+  // Cap 0, emission only in slot 2; prices cheapest at slot 0. The prefix
+  // constraint allows buying early, so all purchasing lands on slot 0.
+  const std::vector<double> buy = {6.0, 9.0, 10.0};
+  const std::vector<double> sell = {0.1, 0.1, 0.1};  // selling unattractive
+  const std::vector<double> emissions = {0.0, 0.0, 4.0};
+  const auto plan =
+      solve_offline_trading(make_context(3, 0.0, 10.0), buy, sell, emissions);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.buy[0], 4.0, 1e-6);
+  EXPECT_NEAR(plan.buy[1] + plan.buy[2], 0.0, 1e-6);
+  EXPECT_NEAR(plan.cost, 24.0, 1e-5);
+}
+
+TEST(OfflineLp, CannotBuyAfterTheFact) {
+  // Emission at slot 0 with zero cap: must buy in slot 0 even though slot 1
+  // is cheaper (prefix feasibility).
+  const std::vector<double> buy = {10.0, 1.0};
+  const std::vector<double> sell = {0.1, 0.1};
+  const std::vector<double> emissions = {3.0, 0.0};
+  const auto plan =
+      solve_offline_trading(make_context(2, 0.0, 10.0), buy, sell, emissions);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.buy[0], 3.0, 1e-6);
+}
+
+TEST(OfflineLp, RespectsLiquidityCap) {
+  const std::vector<double> buy = {5.0, 5.0};
+  const std::vector<double> sell = {0.1, 0.1};
+  const std::vector<double> emissions = {4.0, 4.0};
+  const auto plan =
+      solve_offline_trading(make_context(2, 0.0, 4.5), buy, sell, emissions);
+  ASSERT_TRUE(plan.feasible);
+  for (double z : plan.buy) EXPECT_LE(z, 4.5 + 1e-9);
+}
+
+TEST(OfflineLp, InfeasibleWhenCapTooTight) {
+  // Emission 10 in slot 0 but can only buy 2 per slot: prefix constraint
+  // at slot 0 cannot be met.
+  const std::vector<double> buy = {5.0};
+  const std::vector<double> sell = {4.5};
+  const std::vector<double> emissions = {10.0};
+  const auto plan =
+      solve_offline_trading(make_context(1, 0.0, 2.0), buy, sell, emissions);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(OfflineLp, ArbitrageWithinCaps) {
+  // Buy at 5, later sell at 9 (sell price of a pricier slot): profitable,
+  // bounded by the liquidity cap.
+  const std::vector<double> buy = {5.0, 10.0};
+  const std::vector<double> sell = {4.5, 9.0};
+  const std::vector<double> emissions = {0.0, 0.0};
+  const auto plan =
+      solve_offline_trading(make_context(2, 0.0, 3.0), buy, sell, emissions);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.buy[0], 3.0, 1e-6);
+  EXPECT_NEAR(plan.sell[1], 3.0, 1e-6);
+  EXPECT_NEAR(plan.cost, 3.0 * 5.0 - 3.0 * 9.0, 1e-5);
+}
+
+TEST(OfflineLp, PlanSatisfiesNeutralityEverywhere) {
+  const std::vector<double> buy = {7.0, 6.0, 9.0, 8.0};
+  const std::vector<double> sell = {6.3, 5.4, 8.1, 7.2};
+  const std::vector<double> emissions = {3.0, 5.0, 2.0, 6.0};
+  const double cap = 4.0;
+  const auto plan =
+      solve_offline_trading(make_context(4, cap, 10.0), buy, sell, emissions);
+  ASSERT_TRUE(plan.feasible);
+  double balance = cap;
+  for (std::size_t t = 0; t < 4; ++t) {
+    balance += plan.buy[t] - plan.sell[t] - emissions[t];
+    EXPECT_GE(balance, -1e-7) << "prefix " << t;
+  }
+}
+
+TEST(OfflineLpTrader, ReplaysPlan) {
+  OfflineTradingPlan plan;
+  plan.buy = {1.0, 2.0};
+  plan.sell = {0.0, 0.5};
+  plan.feasible = true;
+  OfflineLpTrader trader(plan);
+  EXPECT_DOUBLE_EQ(trader.decide(0, {}).buy, 1.0);
+  EXPECT_DOUBLE_EQ(trader.decide(1, {}).sell, 0.5);
+  // Beyond the plan horizon: no trading.
+  EXPECT_DOUBLE_EQ(trader.decide(5, {}).buy, 0.0);
+}
+
+}  // namespace
+}  // namespace cea::trading

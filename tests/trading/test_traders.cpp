@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "trading/lyapunov_trader.h"
+#include "trading/random_trader.h"
+#include "trading/threshold_trader.h"
+#include "trading/trader.h"
+
+namespace cea::trading {
+namespace {
+
+TraderContext make_context() {
+  TraderContext context;
+  context.horizon = 100;
+  context.carbon_cap = 200.0;
+  context.max_trade_per_slot = 10.0;
+  context.seed = 7;
+  return context;
+}
+
+TEST(TradeDecision, CostAndNet) {
+  const TradeDecision d{4.0, 1.0};
+  const TradeObservation obs{8.0, 7.2};
+  EXPECT_DOUBLE_EQ(d.net(), 3.0);
+  EXPECT_DOUBLE_EQ(d.cost(obs), 4.0 * 8.0 - 1.0 * 7.2);
+}
+
+TEST(ClampTrade, Clamps) {
+  const auto context = make_context();
+  EXPECT_DOUBLE_EQ(clamp_trade(-1.0, context), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_trade(5.0, context), 5.0);
+  EXPECT_DOUBLE_EQ(clamp_trade(100.0, context), 10.0);
+}
+
+TEST(RandomTrader, WithinBounds) {
+  RandomTrader trader(make_context(), 10.0);
+  const TradeObservation obs{8.0, 7.2};
+  for (std::size_t t = 0; t < 200; ++t) {
+    const auto d = trader.decide(t, obs);
+    EXPECT_GE(d.buy, 0.0);
+    EXPECT_LE(d.buy, 10.0);
+    EXPECT_GE(d.sell, 0.0);
+    EXPECT_LE(d.sell, 10.0);
+    trader.feedback(t, 2.0, obs, d);
+  }
+}
+
+TEST(RandomTrader, IgnoresPrices) {
+  RandomTrader a(make_context(), 10.0), b(make_context(), 10.0);
+  const auto da = a.decide(0, {5.9, 5.3});
+  const auto db = b.decide(0, {10.9, 9.8});
+  EXPECT_DOUBLE_EQ(da.buy, db.buy);  // same seed, price-independent
+}
+
+TEST(ThresholdTrader, BuysOnlyBelowThreshold) {
+  ThresholdTrader trader(make_context(), 7.0, 8.0, 5.0);
+  EXPECT_DOUBLE_EQ(trader.decide(0, {6.5, 5.85}).buy, 5.0);
+  EXPECT_DOUBLE_EQ(trader.decide(1, {7.5, 6.75}).buy, 0.0);
+}
+
+TEST(ThresholdTrader, SellsOnlyAboveThreshold) {
+  ThresholdTrader trader(make_context(), 7.0, 8.0, 5.0);
+  EXPECT_DOUBLE_EQ(trader.decide(0, {9.5, 8.55}).sell, 5.0);
+  EXPECT_DOUBLE_EQ(trader.decide(1, {8.5, 7.65}).sell, 0.0);
+}
+
+TEST(ThresholdTrader, QuantityClampedToCap) {
+  ThresholdTrader trader(make_context(), 7.0, 8.0, 50.0);
+  EXPECT_DOUBLE_EQ(trader.decide(0, {6.0, 5.4}).buy, 10.0);
+}
+
+TEST(LyapunovTrader, QueueGrowsWithUncoveredEmission) {
+  auto context = make_context();
+  LyapunovTrader trader(context, 2.0, 10.0);
+  const TradeObservation obs{8.0, 7.2};
+  // cap share = 200/100 = 2; emission 5 with no trade -> queue += 3.
+  trader.feedback(0, 5.0, obs, {});
+  EXPECT_NEAR(trader.queue(), 3.0, 1e-12);
+  trader.feedback(1, 5.0, obs, {});
+  EXPECT_NEAR(trader.queue(), 6.0, 1e-12);
+}
+
+TEST(LyapunovTrader, QueueNonNegative) {
+  LyapunovTrader trader(make_context(), 2.0, 10.0);
+  trader.feedback(0, 0.0, {8.0, 7.2}, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(trader.queue(), 0.0);
+}
+
+TEST(LyapunovTrader, BuysWhenQueueLarge) {
+  LyapunovTrader trader(make_context(), 1.0, 10.0);
+  const TradeObservation obs{8.0, 7.2};
+  // Push the queue above V * c = 8.
+  for (std::size_t t = 0; t < 5; ++t) trader.feedback(t, 5.0, obs, {});
+  EXPECT_GT(trader.queue(), 8.0);
+  const auto d = trader.decide(5, obs);
+  EXPECT_DOUBLE_EQ(d.buy, 10.0);
+  EXPECT_DOUBLE_EQ(d.sell, 0.0);
+}
+
+TEST(LyapunovTrader, SellsWhenQueueSmall) {
+  LyapunovTrader trader(make_context(), 1.0, 10.0);
+  const auto d = trader.decide(0, {8.0, 7.2});
+  // Queue 0 < V*r: sell, don't buy.
+  EXPECT_DOUBLE_EQ(d.sell, 10.0);
+  EXPECT_DOUBLE_EQ(d.buy, 0.0);
+}
+
+TEST(LyapunovTrader, BuyingReducesQueue) {
+  LyapunovTrader trader(make_context(), 1.0, 10.0);
+  const TradeObservation obs{8.0, 7.2};
+  for (std::size_t t = 0; t < 5; ++t) trader.feedback(t, 5.0, obs, {});
+  const double before = trader.queue();
+  trader.feedback(5, 5.0, obs, {10.0, 0.0});
+  EXPECT_LT(trader.queue(), before);
+}
+
+TEST(Factories, ProduceWorkingTraders) {
+  const auto context = make_context();
+  std::vector<TraderFactory> factories = {
+      RandomTrader::factory(),
+      ThresholdTrader::factory(),
+      LyapunovTrader::factory(),
+  };
+  for (auto& factory : factories) {
+    auto trader = factory(context);
+    ASSERT_NE(trader, nullptr);
+    const TradeObservation obs{8.0, 7.2};
+    for (std::size_t t = 0; t < 20; ++t) {
+      const auto d = trader->decide(t, obs);
+      EXPECT_GE(d.buy, 0.0);
+      EXPECT_GE(d.sell, 0.0);
+      trader->feedback(t, 2.0, obs, d);
+    }
+    EXPECT_FALSE(trader->name().empty());
+  }
+}
+
+}  // namespace
+}  // namespace cea::trading

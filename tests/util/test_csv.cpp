@@ -1,0 +1,79 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace cea {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  // Unique file per test: parallel ctest runs tests concurrently.
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "cea_csv_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST(CsvEscape, PlainPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesCommas) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, DoublesQuotes) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, QuotesNewlines) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST_F(CsvTest, WritesRows) {
+  {
+    CsvWriter writer(path_);
+    writer.write_row({"t", "cost"});
+    writer.write_row({"1", "2.5"});
+  }
+  EXPECT_EQ(read_file(path_), "t,cost\n1,2.5\n");
+}
+
+TEST_F(CsvTest, WritesLabeledDoubles) {
+  {
+    CsvWriter writer(path_);
+    writer.write_row("series", {1.0, 2.5});
+  }
+  EXPECT_EQ(read_file(path_), "series,1,2.5\n");
+}
+
+TEST_F(CsvTest, WritesVectorOfStrings) {
+  {
+    CsvWriter writer(path_);
+    writer.write_row(std::vector<std::string>{"a,b", "c"});
+  }
+  EXPECT_EQ(read_file(path_), "\"a,b\",c\n");
+}
+
+TEST(CsvWriterErrors, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,136 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cea {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_NEAR(s.mean(), mean_of(xs), 1e-12);
+  EXPECT_NEAR(s.stddev(), stddev_of(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.25);
+  EXPECT_NEAR(s.sum(), 12.25, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  RunningStats a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 3.0 + i * 0.01;
+    if (i % 2 == 0) a.add(x); else b.add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.mean(), mean_before);
+}
+
+TEST(Ema, SeedsWithFirstValue) {
+  Ema e(0.5);
+  EXPECT_TRUE(e.empty());
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ema, Smooths) {
+  Ema e(0.5);
+  e.add(0.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(Stats, MeanOfEmpty) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(Stats, StddevOfSmall) {
+  EXPECT_DOUBLE_EQ(stddev_of({}), 0.0);
+  const std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(stddev_of(one), 0.0);
+}
+
+TEST(Stats, PercentileEndpointsAndMedian) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.5), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.25), 2.5);
+}
+
+TEST(Stats, PercentileClampsQ) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 2.0), 2.0);
+}
+
+TEST(Stats, CumulativeSum) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const auto cs = cumulative_sum(xs);
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_DOUBLE_EQ(cs[0], 1.0);
+  EXPECT_DOUBLE_EQ(cs[1], 3.0);
+  EXPECT_DOUBLE_EQ(cs[2], 6.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = ys;
+  for (auto& v : neg) v = -v;
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(xs, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,49 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace cea {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Table, HeaderOnly) {
+  Table t({"a", "bb"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  const std::string s = t.to_string();
+  // Every line should place column 2 at the same offset.
+  const auto first_line_end = s.find('\n');
+  ASSERT_NE(first_line_end, std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(Table, NumericRowHelper) {
+  Table t({"algo", "cost", "fit"});
+  t.add_row("Ours", {12.3456, 0.0}, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("12.35"), std::string::npos);
+  EXPECT_NE(s.find("0.00"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+}  // namespace
+}  // namespace cea
