@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_block_schedule.cpp" "bench/CMakeFiles/abl_block_schedule.dir/abl_block_schedule.cpp.o" "gcc" "bench/CMakeFiles/abl_block_schedule.dir/abl_block_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bandit/CMakeFiles/cea_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/cea_trading.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cea_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cea_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cea_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_primal_step.dir/abl_primal_step.cpp.o"
+  "CMakeFiles/abl_primal_step.dir/abl_primal_step.cpp.o.d"
+  "abl_primal_step"
+  "abl_primal_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_primal_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nonstationary.dir/ext_nonstationary.cpp.o"
+  "CMakeFiles/ext_nonstationary.dir/ext_nonstationary.cpp.o.d"
+  "ext_nonstationary"
+  "ext_nonstationary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nonstationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_price_prediction.dir/ext_price_prediction.cpp.o"
+  "CMakeFiles/ext_price_prediction.dir/ext_price_prediction.cpp.o.d"
+  "ext_price_prediction"
+  "ext_price_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_price_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_cumulative_cost.dir/fig03_cumulative_cost.cpp.o"
+  "CMakeFiles/fig03_cumulative_cost.dir/fig03_cumulative_cost.cpp.o.d"
+  "fig03_cumulative_cost"
+  "fig03_cumulative_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cumulative_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

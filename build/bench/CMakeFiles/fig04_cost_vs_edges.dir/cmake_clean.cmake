@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cost_vs_edges.dir/fig04_cost_vs_edges.cpp.o"
+  "CMakeFiles/fig04_cost_vs_edges.dir/fig04_cost_vs_edges.cpp.o.d"
+  "fig04_cost_vs_edges"
+  "fig04_cost_vs_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cost_vs_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_switching_weight.dir/fig05_switching_weight.cpp.o"
+  "CMakeFiles/fig05_switching_weight.dir/fig05_switching_weight.cpp.o.d"
+  "fig05_switching_weight"
+  "fig05_switching_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_switching_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_switching_weight.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_carbon_cap.dir/fig07_carbon_cap.cpp.o"
+  "CMakeFiles/fig07_carbon_cap.dir/fig07_carbon_cap.cpp.o.d"
+  "fig07_carbon_cap"
+  "fig07_carbon_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_carbon_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_selection_counts.dir/fig08_selection_counts.cpp.o"
+  "CMakeFiles/fig08_selection_counts.dir/fig08_selection_counts.cpp.o.d"
+  "fig08_selection_counts"
+  "fig08_selection_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_selection_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_trading_volume.dir/fig09_trading_volume.cpp.o"
+  "CMakeFiles/fig09_trading_volume.dir/fig09_trading_volume.cpp.o.d"
+  "fig09_trading_volume"
+  "fig09_trading_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_trading_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

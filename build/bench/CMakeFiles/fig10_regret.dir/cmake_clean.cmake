@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_regret.dir/fig10_regret.cpp.o"
+  "CMakeFiles/fig10_regret.dir/fig10_regret.cpp.o.d"
+  "fig10_regret"
+  "fig10_regret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_regret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_accuracy_mnist.dir/fig12_accuracy_mnist.cpp.o"
+  "CMakeFiles/fig12_accuracy_mnist.dir/fig12_accuracy_mnist.cpp.o.d"
+  "fig12_accuracy_mnist"
+  "fig12_accuracy_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_accuracy_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

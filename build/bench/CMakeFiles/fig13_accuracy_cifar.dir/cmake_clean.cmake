@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_accuracy_cifar.dir/fig13_accuracy_cifar.cpp.o"
+  "CMakeFiles/fig13_accuracy_cifar.dir/fig13_accuracy_cifar.cpp.o.d"
+  "fig13_accuracy_cifar"
+  "fig13_accuracy_cifar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_accuracy_cifar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

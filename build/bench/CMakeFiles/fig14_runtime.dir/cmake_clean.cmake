@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_runtime.dir/fig14_runtime.cpp.o"
+  "CMakeFiles/fig14_runtime.dir/fig14_runtime.cpp.o.d"
+  "fig14_runtime"
+  "fig14_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

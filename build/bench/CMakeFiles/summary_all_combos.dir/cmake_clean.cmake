@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_all_combos.dir/summary_all_combos.cpp.o"
+  "CMakeFiles/summary_all_combos.dir/summary_all_combos.cpp.o.d"
+  "summary_all_combos"
+  "summary_all_combos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_all_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carbon_market_scenario.dir/carbon_market_scenario.cpp.o"
+  "CMakeFiles/carbon_market_scenario.dir/carbon_market_scenario.cpp.o.d"
+  "carbon_market_scenario"
+  "carbon_market_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carbon_market_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for carbon_market_scenario.
+# This may be replaced when dependencies are built.

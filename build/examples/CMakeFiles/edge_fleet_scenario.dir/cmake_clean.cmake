@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_fleet_scenario.dir/edge_fleet_scenario.cpp.o"
+  "CMakeFiles/edge_fleet_scenario.dir/edge_fleet_scenario.cpp.o.d"
+  "edge_fleet_scenario"
+  "edge_fleet_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_fleet_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_inference_demo.dir/nn_inference_demo.cpp.o"
+  "CMakeFiles/nn_inference_demo.dir/nn_inference_demo.cpp.o.d"
+  "nn_inference_demo"
+  "nn_inference_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_inference_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

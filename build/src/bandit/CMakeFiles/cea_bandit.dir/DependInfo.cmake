@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bandit/epsilon_greedy.cpp" "src/bandit/CMakeFiles/cea_bandit.dir/epsilon_greedy.cpp.o" "gcc" "src/bandit/CMakeFiles/cea_bandit.dir/epsilon_greedy.cpp.o.d"
+  "/root/repo/src/bandit/exp3.cpp" "src/bandit/CMakeFiles/cea_bandit.dir/exp3.cpp.o" "gcc" "src/bandit/CMakeFiles/cea_bandit.dir/exp3.cpp.o.d"
+  "/root/repo/src/bandit/greedy_policy.cpp" "src/bandit/CMakeFiles/cea_bandit.dir/greedy_policy.cpp.o" "gcc" "src/bandit/CMakeFiles/cea_bandit.dir/greedy_policy.cpp.o.d"
+  "/root/repo/src/bandit/ogd_policy.cpp" "src/bandit/CMakeFiles/cea_bandit.dir/ogd_policy.cpp.o" "gcc" "src/bandit/CMakeFiles/cea_bandit.dir/ogd_policy.cpp.o.d"
+  "/root/repo/src/bandit/policy.cpp" "src/bandit/CMakeFiles/cea_bandit.dir/policy.cpp.o" "gcc" "src/bandit/CMakeFiles/cea_bandit.dir/policy.cpp.o.d"
+  "/root/repo/src/bandit/random_policy.cpp" "src/bandit/CMakeFiles/cea_bandit.dir/random_policy.cpp.o" "gcc" "src/bandit/CMakeFiles/cea_bandit.dir/random_policy.cpp.o.d"
+  "/root/repo/src/bandit/thompson.cpp" "src/bandit/CMakeFiles/cea_bandit.dir/thompson.cpp.o" "gcc" "src/bandit/CMakeFiles/cea_bandit.dir/thompson.cpp.o.d"
+  "/root/repo/src/bandit/tsallis_inf.cpp" "src/bandit/CMakeFiles/cea_bandit.dir/tsallis_inf.cpp.o" "gcc" "src/bandit/CMakeFiles/cea_bandit.dir/tsallis_inf.cpp.o.d"
+  "/root/repo/src/bandit/ucb2.cpp" "src/bandit/CMakeFiles/cea_bandit.dir/ucb2.cpp.o" "gcc" "src/bandit/CMakeFiles/cea_bandit.dir/ucb2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/cea_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cea_bandit.dir/epsilon_greedy.cpp.o"
+  "CMakeFiles/cea_bandit.dir/epsilon_greedy.cpp.o.d"
+  "CMakeFiles/cea_bandit.dir/exp3.cpp.o"
+  "CMakeFiles/cea_bandit.dir/exp3.cpp.o.d"
+  "CMakeFiles/cea_bandit.dir/greedy_policy.cpp.o"
+  "CMakeFiles/cea_bandit.dir/greedy_policy.cpp.o.d"
+  "CMakeFiles/cea_bandit.dir/ogd_policy.cpp.o"
+  "CMakeFiles/cea_bandit.dir/ogd_policy.cpp.o.d"
+  "CMakeFiles/cea_bandit.dir/policy.cpp.o"
+  "CMakeFiles/cea_bandit.dir/policy.cpp.o.d"
+  "CMakeFiles/cea_bandit.dir/random_policy.cpp.o"
+  "CMakeFiles/cea_bandit.dir/random_policy.cpp.o.d"
+  "CMakeFiles/cea_bandit.dir/thompson.cpp.o"
+  "CMakeFiles/cea_bandit.dir/thompson.cpp.o.d"
+  "CMakeFiles/cea_bandit.dir/tsallis_inf.cpp.o"
+  "CMakeFiles/cea_bandit.dir/tsallis_inf.cpp.o.d"
+  "CMakeFiles/cea_bandit.dir/ucb2.cpp.o"
+  "CMakeFiles/cea_bandit.dir/ucb2.cpp.o.d"
+  "libcea_bandit.a"
+  "libcea_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cea_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

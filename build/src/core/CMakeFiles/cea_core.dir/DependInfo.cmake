@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_schedule.cpp" "src/core/CMakeFiles/cea_core.dir/block_schedule.cpp.o" "gcc" "src/core/CMakeFiles/cea_core.dir/block_schedule.cpp.o.d"
+  "/root/repo/src/core/blocked_tsallis_inf.cpp" "src/core/CMakeFiles/cea_core.dir/blocked_tsallis_inf.cpp.o" "gcc" "src/core/CMakeFiles/cea_core.dir/blocked_tsallis_inf.cpp.o.d"
+  "/root/repo/src/core/carbon_trader.cpp" "src/core/CMakeFiles/cea_core.dir/carbon_trader.cpp.o" "gcc" "src/core/CMakeFiles/cea_core.dir/carbon_trader.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/cea_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/cea_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/mpc_trader.cpp" "src/core/CMakeFiles/cea_core.dir/mpc_trader.cpp.o" "gcc" "src/core/CMakeFiles/cea_core.dir/mpc_trader.cpp.o.d"
+  "/root/repo/src/core/pooled_tsallis.cpp" "src/core/CMakeFiles/cea_core.dir/pooled_tsallis.cpp.o" "gcc" "src/core/CMakeFiles/cea_core.dir/pooled_tsallis.cpp.o.d"
+  "/root/repo/src/core/predictive_trader.cpp" "src/core/CMakeFiles/cea_core.dir/predictive_trader.cpp.o" "gcc" "src/core/CMakeFiles/cea_core.dir/predictive_trader.cpp.o.d"
+  "/root/repo/src/core/price_predictor.cpp" "src/core/CMakeFiles/cea_core.dir/price_predictor.cpp.o" "gcc" "src/core/CMakeFiles/cea_core.dir/price_predictor.cpp.o.d"
+  "/root/repo/src/core/regret.cpp" "src/core/CMakeFiles/cea_core.dir/regret.cpp.o" "gcc" "src/core/CMakeFiles/cea_core.dir/regret.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bandit/CMakeFiles/cea_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/cea_trading.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cea_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

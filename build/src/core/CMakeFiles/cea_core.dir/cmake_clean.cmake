@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cea_core.dir/block_schedule.cpp.o"
+  "CMakeFiles/cea_core.dir/block_schedule.cpp.o.d"
+  "CMakeFiles/cea_core.dir/blocked_tsallis_inf.cpp.o"
+  "CMakeFiles/cea_core.dir/blocked_tsallis_inf.cpp.o.d"
+  "CMakeFiles/cea_core.dir/carbon_trader.cpp.o"
+  "CMakeFiles/cea_core.dir/carbon_trader.cpp.o.d"
+  "CMakeFiles/cea_core.dir/controller.cpp.o"
+  "CMakeFiles/cea_core.dir/controller.cpp.o.d"
+  "CMakeFiles/cea_core.dir/mpc_trader.cpp.o"
+  "CMakeFiles/cea_core.dir/mpc_trader.cpp.o.d"
+  "CMakeFiles/cea_core.dir/pooled_tsallis.cpp.o"
+  "CMakeFiles/cea_core.dir/pooled_tsallis.cpp.o.d"
+  "CMakeFiles/cea_core.dir/predictive_trader.cpp.o"
+  "CMakeFiles/cea_core.dir/predictive_trader.cpp.o.d"
+  "CMakeFiles/cea_core.dir/price_predictor.cpp.o"
+  "CMakeFiles/cea_core.dir/price_predictor.cpp.o.d"
+  "CMakeFiles/cea_core.dir/regret.cpp.o"
+  "CMakeFiles/cea_core.dir/regret.cpp.o.d"
+  "libcea_core.a"
+  "libcea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

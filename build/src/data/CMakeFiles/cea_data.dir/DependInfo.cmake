@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/carbon_market.cpp" "src/data/CMakeFiles/cea_data.dir/carbon_market.cpp.o" "gcc" "src/data/CMakeFiles/cea_data.dir/carbon_market.cpp.o.d"
+  "/root/repo/src/data/loss_profile.cpp" "src/data/CMakeFiles/cea_data.dir/loss_profile.cpp.o" "gcc" "src/data/CMakeFiles/cea_data.dir/loss_profile.cpp.o.d"
+  "/root/repo/src/data/synthetic_dataset.cpp" "src/data/CMakeFiles/cea_data.dir/synthetic_dataset.cpp.o" "gcc" "src/data/CMakeFiles/cea_data.dir/synthetic_dataset.cpp.o.d"
+  "/root/repo/src/data/topology.cpp" "src/data/CMakeFiles/cea_data.dir/topology.cpp.o" "gcc" "src/data/CMakeFiles/cea_data.dir/topology.cpp.o.d"
+  "/root/repo/src/data/trace_io.cpp" "src/data/CMakeFiles/cea_data.dir/trace_io.cpp.o" "gcc" "src/data/CMakeFiles/cea_data.dir/trace_io.cpp.o.d"
+  "/root/repo/src/data/workload.cpp" "src/data/CMakeFiles/cea_data.dir/workload.cpp.o" "gcc" "src/data/CMakeFiles/cea_data.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/cea_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

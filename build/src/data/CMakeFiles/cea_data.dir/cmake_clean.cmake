@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cea_data.dir/carbon_market.cpp.o"
+  "CMakeFiles/cea_data.dir/carbon_market.cpp.o.d"
+  "CMakeFiles/cea_data.dir/loss_profile.cpp.o"
+  "CMakeFiles/cea_data.dir/loss_profile.cpp.o.d"
+  "CMakeFiles/cea_data.dir/synthetic_dataset.cpp.o"
+  "CMakeFiles/cea_data.dir/synthetic_dataset.cpp.o.d"
+  "CMakeFiles/cea_data.dir/topology.cpp.o"
+  "CMakeFiles/cea_data.dir/topology.cpp.o.d"
+  "CMakeFiles/cea_data.dir/trace_io.cpp.o"
+  "CMakeFiles/cea_data.dir/trace_io.cpp.o.d"
+  "CMakeFiles/cea_data.dir/workload.cpp.o"
+  "CMakeFiles/cea_data.dir/workload.cpp.o.d"
+  "libcea_data.a"
+  "libcea_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cea_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

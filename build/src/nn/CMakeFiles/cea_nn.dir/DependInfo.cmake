@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/cea_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/cea_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/cea_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/cea_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/cea_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/cea_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/cea_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/cea_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/cea_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/cea_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/cea_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/cea_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/cea_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/cea_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/train.cpp" "src/nn/CMakeFiles/cea_nn.dir/train.cpp.o" "gcc" "src/nn/CMakeFiles/cea_nn.dir/train.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/nn/CMakeFiles/cea_nn.dir/zoo.cpp.o" "gcc" "src/nn/CMakeFiles/cea_nn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

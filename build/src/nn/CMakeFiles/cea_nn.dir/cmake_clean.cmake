@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cea_nn.dir/layers.cpp.o"
+  "CMakeFiles/cea_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/cea_nn.dir/loss.cpp.o"
+  "CMakeFiles/cea_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/cea_nn.dir/model.cpp.o"
+  "CMakeFiles/cea_nn.dir/model.cpp.o.d"
+  "CMakeFiles/cea_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/cea_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/cea_nn.dir/quantize.cpp.o"
+  "CMakeFiles/cea_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/cea_nn.dir/serialize.cpp.o"
+  "CMakeFiles/cea_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/cea_nn.dir/tensor.cpp.o"
+  "CMakeFiles/cea_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/cea_nn.dir/train.cpp.o"
+  "CMakeFiles/cea_nn.dir/train.cpp.o.d"
+  "CMakeFiles/cea_nn.dir/zoo.cpp.o"
+  "CMakeFiles/cea_nn.dir/zoo.cpp.o.d"
+  "libcea_nn.a"
+  "libcea_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cea_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/brent.cpp" "src/opt/CMakeFiles/cea_opt.dir/brent.cpp.o" "gcc" "src/opt/CMakeFiles/cea_opt.dir/brent.cpp.o.d"
+  "/root/repo/src/opt/projection.cpp" "src/opt/CMakeFiles/cea_opt.dir/projection.cpp.o" "gcc" "src/opt/CMakeFiles/cea_opt.dir/projection.cpp.o.d"
+  "/root/repo/src/opt/simplex.cpp" "src/opt/CMakeFiles/cea_opt.dir/simplex.cpp.o" "gcc" "src/opt/CMakeFiles/cea_opt.dir/simplex.cpp.o.d"
+  "/root/repo/src/opt/tsallis_step.cpp" "src/opt/CMakeFiles/cea_opt.dir/tsallis_step.cpp.o" "gcc" "src/opt/CMakeFiles/cea_opt.dir/tsallis_step.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

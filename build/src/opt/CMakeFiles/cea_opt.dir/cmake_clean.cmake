@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cea_opt.dir/brent.cpp.o"
+  "CMakeFiles/cea_opt.dir/brent.cpp.o.d"
+  "CMakeFiles/cea_opt.dir/projection.cpp.o"
+  "CMakeFiles/cea_opt.dir/projection.cpp.o.d"
+  "CMakeFiles/cea_opt.dir/simplex.cpp.o"
+  "CMakeFiles/cea_opt.dir/simplex.cpp.o.d"
+  "CMakeFiles/cea_opt.dir/tsallis_step.cpp.o"
+  "CMakeFiles/cea_opt.dir/tsallis_step.cpp.o.d"
+  "libcea_opt.a"
+  "libcea_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cea_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

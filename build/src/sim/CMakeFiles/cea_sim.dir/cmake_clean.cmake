@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cea_sim.dir/environment.cpp.o"
+  "CMakeFiles/cea_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/cea_sim.dir/experiment.cpp.o"
+  "CMakeFiles/cea_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/cea_sim.dir/metrics.cpp.o"
+  "CMakeFiles/cea_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/cea_sim.dir/report.cpp.o"
+  "CMakeFiles/cea_sim.dir/report.cpp.o.d"
+  "CMakeFiles/cea_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cea_sim.dir/simulator.cpp.o.d"
+  "libcea_sim.a"
+  "libcea_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cea_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

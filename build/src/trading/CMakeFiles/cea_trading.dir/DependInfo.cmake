@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trading/lyapunov_trader.cpp" "src/trading/CMakeFiles/cea_trading.dir/lyapunov_trader.cpp.o" "gcc" "src/trading/CMakeFiles/cea_trading.dir/lyapunov_trader.cpp.o.d"
+  "/root/repo/src/trading/offline_lp_trader.cpp" "src/trading/CMakeFiles/cea_trading.dir/offline_lp_trader.cpp.o" "gcc" "src/trading/CMakeFiles/cea_trading.dir/offline_lp_trader.cpp.o.d"
+  "/root/repo/src/trading/random_trader.cpp" "src/trading/CMakeFiles/cea_trading.dir/random_trader.cpp.o" "gcc" "src/trading/CMakeFiles/cea_trading.dir/random_trader.cpp.o.d"
+  "/root/repo/src/trading/threshold_trader.cpp" "src/trading/CMakeFiles/cea_trading.dir/threshold_trader.cpp.o" "gcc" "src/trading/CMakeFiles/cea_trading.dir/threshold_trader.cpp.o.d"
+  "/root/repo/src/trading/trader.cpp" "src/trading/CMakeFiles/cea_trading.dir/trader.cpp.o" "gcc" "src/trading/CMakeFiles/cea_trading.dir/trader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/cea_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

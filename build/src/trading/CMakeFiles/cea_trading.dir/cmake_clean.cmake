@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cea_trading.dir/lyapunov_trader.cpp.o"
+  "CMakeFiles/cea_trading.dir/lyapunov_trader.cpp.o.d"
+  "CMakeFiles/cea_trading.dir/offline_lp_trader.cpp.o"
+  "CMakeFiles/cea_trading.dir/offline_lp_trader.cpp.o.d"
+  "CMakeFiles/cea_trading.dir/random_trader.cpp.o"
+  "CMakeFiles/cea_trading.dir/random_trader.cpp.o.d"
+  "CMakeFiles/cea_trading.dir/threshold_trader.cpp.o"
+  "CMakeFiles/cea_trading.dir/threshold_trader.cpp.o.d"
+  "CMakeFiles/cea_trading.dir/trader.cpp.o"
+  "CMakeFiles/cea_trading.dir/trader.cpp.o.d"
+  "libcea_trading.a"
+  "libcea_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cea_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

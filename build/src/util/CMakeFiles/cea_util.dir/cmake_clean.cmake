@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cea_util.dir/csv.cpp.o"
+  "CMakeFiles/cea_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cea_util.dir/rng.cpp.o"
+  "CMakeFiles/cea_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cea_util.dir/stats.cpp.o"
+  "CMakeFiles/cea_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cea_util.dir/table.cpp.o"
+  "CMakeFiles/cea_util.dir/table.cpp.o.d"
+  "libcea_util.a"
+  "libcea_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cea_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

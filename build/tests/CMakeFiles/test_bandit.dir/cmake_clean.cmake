@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandit.dir/bandit/test_ogd.cpp.o"
+  "CMakeFiles/test_bandit.dir/bandit/test_ogd.cpp.o.d"
+  "CMakeFiles/test_bandit.dir/bandit/test_policies.cpp.o"
+  "CMakeFiles/test_bandit.dir/bandit/test_policies.cpp.o.d"
+  "CMakeFiles/test_bandit.dir/bandit/test_regret_behaviour.cpp.o"
+  "CMakeFiles/test_bandit.dir/bandit/test_regret_behaviour.cpp.o.d"
+  "CMakeFiles/test_bandit.dir/bandit/test_thompson.cpp.o"
+  "CMakeFiles/test_bandit.dir/bandit/test_thompson.cpp.o.d"
+  "test_bandit"
+  "test_bandit.pdb"
+  "test_bandit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_block_schedule.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_block_schedule.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_blocked_tsallis.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_blocked_tsallis.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_carbon_trader.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_carbon_trader.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mpc_trader.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mpc_trader.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pooled_tsallis.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pooled_tsallis.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_predictive_trader.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_predictive_trader.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_regret.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_regret.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trader_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trader_properties.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/test_carbon_market.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_carbon_market.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_loss_profile.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_loss_profile.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_synthetic_dataset.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_synthetic_dataset.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_topology.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_topology.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_trace_io.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_trace_io.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_workload.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_workload.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

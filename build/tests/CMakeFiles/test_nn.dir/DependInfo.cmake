@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_conv_reference.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_conv_reference.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_conv_reference.cpp.o.d"
+  "/root/repo/tests/nn/test_depthwise_reference.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_depthwise_reference.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_depthwise_reference.cpp.o.d"
+  "/root/repo/tests/nn/test_dropout.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_dropout.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_dropout.cpp.o.d"
+  "/root/repo/tests/nn/test_gradients.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_gradients.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_gradients.cpp.o.d"
+  "/root/repo/tests/nn/test_layers.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "/root/repo/tests/nn/test_loss.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_loss.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_loss.cpp.o.d"
+  "/root/repo/tests/nn/test_model.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_model.cpp.o.d"
+  "/root/repo/tests/nn/test_optimizer.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o.d"
+  "/root/repo/tests/nn/test_quantize.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_quantize.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_quantize.cpp.o.d"
+  "/root/repo/tests/nn/test_serialize.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o.d"
+  "/root/repo/tests/nn/test_tensor.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o.d"
+  "/root/repo/tests/nn/test_train.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_train.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_train.cpp.o.d"
+  "/root/repo/tests/nn/test_zoo.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_zoo.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bandit/CMakeFiles/cea_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/cea_trading.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cea_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cea_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cea_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

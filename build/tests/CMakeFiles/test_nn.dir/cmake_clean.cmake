@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_conv_reference.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_conv_reference.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_depthwise_reference.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_depthwise_reference.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_dropout.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_dropout.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_gradients.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_gradients.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_loss.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_loss.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_model.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_model.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_quantize.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_quantize.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_train.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_train.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_zoo.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_zoo.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/opt/test_brent.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_brent.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_projection.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_projection.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_simplex.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_simplex.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_simplex_random.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_simplex_random.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_tsallis_step.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_tsallis_step.cpp.o.d"
+  "test_opt"
+  "test_opt.pdb"
+  "test_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_edge_cases.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/sim/test_environment.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_environment.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_environment.cpp.o.d"
+  "/root/repo/tests/sim/test_experiment.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o.d"
+  "/root/repo/tests/sim/test_failure_injection.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/sim/test_invariants.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_invariants.cpp.o.d"
+  "/root/repo/tests/sim/test_metrics.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o.d"
+  "/root/repo/tests/sim/test_nonstationary.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_nonstationary.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_nonstationary.cpp.o.d"
+  "/root/repo/tests/sim/test_parallel.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_parallel.cpp.o.d"
+  "/root/repo/tests/sim/test_replace_traces.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_replace_traces.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_replace_traces.cpp.o.d"
+  "/root/repo/tests/sim/test_report.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_report.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bandit/CMakeFiles/cea_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/cea_trading.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cea_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cea_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cea_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

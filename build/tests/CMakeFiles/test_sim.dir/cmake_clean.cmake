@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_edge_cases.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_edge_cases.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_environment.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_environment.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_failure_injection.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_invariants.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_invariants.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_nonstationary.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_nonstationary.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_parallel.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_parallel.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_replace_traces.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_replace_traces.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_report.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_report.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

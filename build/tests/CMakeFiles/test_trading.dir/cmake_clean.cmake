@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trading.dir/trading/test_offline_lp.cpp.o"
+  "CMakeFiles/test_trading.dir/trading/test_offline_lp.cpp.o.d"
+  "CMakeFiles/test_trading.dir/trading/test_traders.cpp.o"
+  "CMakeFiles/test_trading.dir/trading/test_traders.cpp.o.d"
+  "test_trading"
+  "test_trading.pdb"
+  "test_trading[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
