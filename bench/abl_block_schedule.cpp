@@ -98,7 +98,7 @@ int main() {
     std::printf("switching weight %.1f:\n", weight);
     Table table({"variant", "total cost", "switching cost", "switches"});
     for (const auto& variant : variants) {
-      const auto result = sim::run_combo_averaged(env, variant, runs, 7);
+      const auto result = bench::averaged(env, variant, runs, 7);
       table.add_row(variant.name,
                     {result.settled_total_cost(), result.total_switching_cost(),
                      static_cast<double>(result.total_switches)},

@@ -96,7 +96,7 @@ int main() {
     Table table({"variant", "trading cost", "fit", "unit cost",
                  "gross volume"});
     for (const auto& variant : variants) {
-      const auto result = sim::run_combo_averaged(env, variant, runs, 7);
+      const auto result = bench::averaged(env, variant, runs, 7);
       const double fit = core::fit(result.emissions, result.buys,
                                    result.sells, cap);
       table.add_row(variant.name,

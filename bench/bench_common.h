@@ -24,6 +24,16 @@ inline std::size_t num_runs() {
   return 5;
 }
 
+/// Averaged runs for a figure data point, dispatched over the persistent
+/// global thread pool (sized by CEA_BENCH_THREADS, default hardware
+/// concurrency). Bit-identical to sim::run_combo_averaged for any thread
+/// count — same seeds, order-independent per-run results.
+inline sim::RunResult averaged(const sim::Environment& env,
+                               const sim::AlgorithmCombo& combo,
+                               std::size_t runs, std::uint64_t base_seed) {
+  return sim::run_combo_averaged_parallel(env, combo, runs, base_seed);
+}
+
 /// CSV sink under bench_out/ (created on demand).
 inline CsvWriter make_csv(const std::string& figure) {
   std::filesystem::create_directories("bench_out");

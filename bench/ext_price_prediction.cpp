@@ -40,7 +40,7 @@ int main() {
     std::printf("price volatility %.2f:\n", volatility);
     Table table({"variant", "trading cost", "fit", "unit cost"});
     for (const auto& variant : variants) {
-      const auto result = sim::run_combo_averaged(env, variant, runs, 7);
+      const auto result = bench::averaged(env, variant, runs, 7);
       const double fit =
           core::fit(result.emissions, result.buys, result.sells,
                     config.carbon_cap);

@@ -92,7 +92,7 @@ int main() {
     sim_config.seed = 42;
     const auto env = sim::Environment::from_profiles(
         sim_config, std::move(profiles), std::move(energies));
-    const auto result = sim::run_combo_averaged(env, sim::ours_combo(),
+    const auto result = bench::averaged(env, sim::ours_combo(),
                                                 runs, 7);
     return std::tuple<std::string, double, double, double>(
         label, result.settled_total_cost(), result.total_emissions(),

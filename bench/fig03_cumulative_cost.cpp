@@ -36,7 +36,7 @@ int main() {
 
   std::vector<sim::RunResult> results;
   for (const auto& combo : bench::figure_combos()) {
-    results.push_back(sim::run_combo_averaged(env, combo, runs, 7));
+    results.push_back(bench::averaged(env, combo, runs, 7));
   }
   results.push_back(offline);
 

@@ -30,11 +30,11 @@ int main() {
               "T=%zu, %zu-run avg)\n\n",
               edge, config.horizon, runs);
 
-  const auto ours = sim::run_combo_averaged(env, sim::ours_combo(), runs, 7);
+  const auto ours = bench::averaged(env, sim::ours_combo(), runs, 7);
   const sim::AlgorithmCombo greedy{"Greedy-Ran",
                                    bandit::GreedyEnergyPolicy::factory(),
                                    trading::RandomTrader::factory()};
-  const auto greedy_run = sim::run_combo_averaged(env, greedy, runs, 7);
+  const auto greedy_run = bench::averaged(env, greedy, runs, 7);
   const auto offline = sim::run_offline_averaged(env, runs, 7);
 
   Table table({"model", "E[l]+v (edge)", "energy/sample", "Ours", "Greedy",

@@ -34,7 +34,7 @@ int main() {
   csv.write_row({"algorithm", "corr_net_workload", "net_bought",
                  "unit_cost"});
   for (const auto& combo : combos) {
-    const auto result = sim::run_combo_averaged(env, combo, runs, 7);
+    const auto result = bench::averaged(env, combo, runs, 7);
     std::vector<double> net(result.horizon());
     for (std::size_t t = 0; t < result.horizon(); ++t)
       net[t] = result.buys[t] - result.sells[t];

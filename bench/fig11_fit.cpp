@@ -63,7 +63,7 @@ int main() {
   config.num_edges = 10;
   config.seed = 42;
   const auto env = sim::Environment::make_parametric(config);
-  const auto ours = sim::run_combo_averaged(env, sim::ours_combo(), runs, 8);
+  const auto ours = bench::averaged(env, sim::ours_combo(), runs, 8);
   const auto series = core::fit_series(ours.emissions, ours.buys, ours.sells,
                                        config.carbon_cap);
   std::printf("\nOurs fit over time (T=160, prorated cap): ");

@@ -26,8 +26,8 @@ BlockedTsallisInfPolicy::BlockedTsallisInfPolicy(
 
 void BlockedTsallisInfPolicy::start_block() {
   const std::size_t k = block_index_ + 1;  // 1-based block index
-  probabilities_ =
-      tsallis_probabilities(cumulative_losses_, schedule_.learning_rate(k));
+  tsallis_probabilities_into(cumulative_losses_, schedule_.learning_rate(k),
+                             probabilities_, solver_scratch_, &solver_warm_);
   current_arm_ = rng_.categorical(probabilities_);
   slots_left_ = schedule_.block_length(k);
   block_loss_ = 0.0;

@@ -63,6 +63,8 @@ class BlockedTsallisInfPolicy final : public bandit::ModelSelectionPolicy {
   Rng rng_;
   std::vector<double> cumulative_losses_;  // Chat_{i,k}(n)
   std::vector<double> probabilities_;      // p_{i,k,n}
+  std::vector<double> solver_scratch_;     // reused across block solves
+  double solver_warm_ = 0.0;               // scaled root of the last solve
   std::size_t block_index_ = 0;            // completed blocks (k-1)
   std::size_t current_arm_ = 0;            // J_{i,k}
   std::size_t slots_left_ = 0;             // remaining slots in the block

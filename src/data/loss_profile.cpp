@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "data/loss_sampling.h"
 #include "nn/loss.h"
 #include "nn/train.h"
 #include "util/stats.h"
@@ -19,9 +20,12 @@ LossProfile::LossProfile(std::string model_name, std::vector<double> losses,
   assert(!losses_.empty() && losses_.size() == correct_.size());
   RunningStats stats;
   double correct_count = 0.0;
+  pair_table_.resize(2 * losses_.size());
   for (std::size_t i = 0; i < losses_.size(); ++i) {
     stats.add(losses_[i]);
     correct_count += correct_[i] ? 1.0 : 0.0;
+    pair_table_[2 * i] = static_cast<float>(losses_[i]);
+    pair_table_[2 * i + 1] = correct_[i] ? 1.0f : 0.0f;
   }
   mean_loss_ = stats.mean();
   loss_stddev_ = stats.stddev();
@@ -32,6 +36,82 @@ LossDraw LossProfile::draw(Rng& rng) const {
   const auto idx = static_cast<std::size_t>(
       rng.uniform_int(0, static_cast<std::int64_t>(losses_.size()) - 1));
   return {losses_[idx], correct_[idx] != 0};
+}
+
+namespace detail {
+
+void accumulate_range_scalar(const float* pairs, std::uint64_t size,
+                             std::uint64_t key, std::size_t from,
+                             std::size_t n, LaneAccum& acc) noexcept {
+  const std::size_t n8 = n & ~std::size_t{7};
+  std::uint64_t wc = from / 2;
+  for (std::size_t k = from; k < n8; k += 8) {
+    for (int w = 0; w < 4; ++w) {
+      const std::uint64_t word = mix64(key + (wc + w) * kGolden);
+      const auto ih = static_cast<std::size_t>((word >> 32) * size >> 32);
+      const auto il =
+          static_cast<std::size_t>((word & 0xFFFFFFFFULL) * size >> 32);
+      acc.loss[w] += pairs[2 * ih];
+      acc.correct[w] += pairs[2 * ih + 1];
+      acc.loss[4 + w] += pairs[2 * il];
+      acc.correct[4 + w] += pairs[2 * il + 1];
+    }
+    wc += 4;
+  }
+  for (std::size_t k = n8; k < n; ++k) {
+    const std::size_t i = draw_index(key, k, size);
+    acc.loss_tail += pairs[2 * i];
+    acc.correct_tail += pairs[2 * i + 1];
+  }
+}
+
+LossBatch draw_batch_kernel_scalar(const float* pairs, std::uint64_t size,
+                                   std::uint64_t key,
+                                   std::size_t n) noexcept {
+  LaneAccum acc;
+  accumulate_range_scalar(pairs, size, key, 0, n, acc);
+  return acc.finish();
+}
+
+bool have_avx2() noexcept {
+#if defined(__x86_64__)
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool have_avx512() noexcept {
+#if defined(__x86_64__)
+  static const bool supported = __builtin_cpu_supports("avx512vl") != 0 &&
+                                __builtin_cpu_supports("avx512dq") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+}  // namespace detail
+
+LossBatch LossProfile::draw_batch(Rng& rng, std::size_t n) const {
+  // One word from the caller's stream keys the whole batch.
+  return draw_batch_keyed(rng(), n);
+}
+
+LossBatch LossProfile::draw_batch_keyed(std::uint64_t key,
+                                        std::size_t n) const {
+  if (n == 0) return {};
+  const auto size = static_cast<std::uint64_t>(losses_.size());
+  assert(size > 0 && size <= UINT32_MAX);
+  const float* pairs = pair_table_.data();
+#if defined(__x86_64__)
+  if (detail::have_avx512())
+    return detail::draw_batch_kernel_avx512(pairs, size, key, n);
+  if (detail::have_avx2())
+    return detail::draw_batch_kernel_avx2(pairs, size, key, n);
+#endif
+  return detail::draw_batch_kernel_scalar(pairs, size, key, n);
 }
 
 LossProfile profile_model(nn::Sequential& model, const Dataset& profiling_set,

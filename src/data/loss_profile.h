@@ -16,6 +16,13 @@ struct LossDraw {
   bool correct = false;
 };
 
+/// Aggregate of a batch of draws — everything the simulator's slot loop
+/// actually consumes (it never looks at individual samples).
+struct LossBatch {
+  double loss_sum = 0.0;
+  std::size_t correct_count = 0;
+};
+
 /// Empirical per-sample loss distribution of one trained model.
 ///
 /// The simulator does not rerun forward passes for every streamed sample
@@ -32,6 +39,28 @@ class LossProfile {
   /// Draw one sample's loss/correctness uniformly from the table.
   LossDraw draw(Rng& rng) const;
 
+  /// Draw `n` samples and return their aggregate in one tight loop.
+  /// Consumes exactly one word from `rng` — the key of the batch; see
+  /// draw_batch_keyed for the sampling scheme. Orders of magnitude cheaper
+  /// than n draw() calls; the distribution is uniform over the table up to
+  /// a bias of table_size/2^64 (immeasurable for any realistic profile).
+  /// The loss sum is accumulated in float32 (see pair_table_), so it
+  /// matches the sum of the corresponding draw() losses to ~1e-7 relative.
+  LossBatch draw_batch(Rng& rng, std::size_t n) const;
+
+  /// draw_batch with an explicit 64-bit key instead of an Rng — the hot path
+  /// of the simulator, which keys each batch by (run_seed, edge, slot) and
+  /// would otherwise pay a full generator construction per edge-slot. The
+  /// key must be well mixed (stream_seed output or a raw generator word).
+  ///
+  /// Sampling scheme: table indices are a counter-keyed splitmix sequence
+  /// (mix64 of key + k*golden — no loop-carried dependency, so generation
+  /// vectorizes), two fixed-point-reduced indices per 64-bit word, and the
+  /// gathered losses accumulate in eight interleaved lanes with a defined
+  /// combine order. The result is a pure function of (key, n), identical
+  /// across the scalar and SIMD kernels and across thread schedules.
+  LossBatch draw_batch_keyed(std::uint64_t key, std::size_t n) const;
+
   const std::string& model_name() const noexcept { return model_name_; }
   double mean_loss() const noexcept { return mean_loss_; }
   double loss_stddev() const noexcept { return loss_stddev_; }
@@ -43,6 +72,13 @@ class LossProfile {
   std::string model_name_;
   std::vector<double> losses_;
   std::vector<std::uint8_t> correct_;
+  /// Interleaved [loss_i, correct_i (0.0f/1.0f), ...] copy of the two
+  /// tables in float32: draw_batch reads both values of a sample with a
+  /// single 8-byte load, and a 4096-sample profile fits in 32 KiB of L1
+  /// where the double tables would not. Correctness sums of 0.0f/1.0f are
+  /// exact integers up to 2^24 draws; the float32 rounding of each loss
+  /// (~1e-7 relative) is far below the sampling noise of any batch.
+  std::vector<float> pair_table_;
   double mean_loss_ = 0.0;
   double loss_stddev_ = 0.0;
   double accuracy_ = 0.0;

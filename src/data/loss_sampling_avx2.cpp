@@ -1,0 +1,35 @@
+// AVX2 kernel for LossProfile::draw_batch_keyed. This translation unit is
+// compiled with -mavx2 (see src/data/CMakeLists.txt) and must only be
+// entered behind the have_avx2() runtime check. The body lives in
+// loss_sampling_ymm.h; only the 64-bit multiply is AVX2-specific.
+
+#if defined(__x86_64__)
+
+#include "data/loss_sampling_ymm.h"
+
+namespace cea::data::detail {
+namespace {
+
+/// 64-bit lane-wise x * c (mod 2^64) out of 32x32->64 partial products.
+__m256i mul64_avx2(__m256i x, std::uint64_t c) noexcept {
+  const __m256i c_lo =
+      _mm256_set1_epi64x(static_cast<long long>(c & 0xFFFFFFFFULL));
+  const __m256i c_hi = _mm256_set1_epi64x(static_cast<long long>(c >> 32));
+  const __m256i lo = _mm256_mul_epu32(x, c_lo);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(x, 32), c_lo),
+                       _mm256_mul_epu32(x, c_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+}  // namespace
+
+LossBatch draw_batch_kernel_avx2(const float* pairs, std::uint64_t size,
+                                 std::uint64_t key,
+                                 std::size_t n) noexcept {
+  return draw_batch_kernel_ymm<&mul64_avx2>(pairs, size, key, n);
+}
+
+}  // namespace cea::data::detail
+
+#endif  // defined(__x86_64__)

@@ -1,0 +1,30 @@
+// AVX-512VL/DQ kernel for LossProfile::draw_batch_keyed: same 256-bit body
+// as the AVX2 kernel, but the splitmix multiplies use the native 64-bit
+// vpmullq instead of three 32x32 partial products. Compiled with
+// -mavx512vl -mavx512dq (see src/data/CMakeLists.txt) and only entered
+// behind the have_avx512() runtime check. 256-bit vpmullq does not incur
+// the 512-bit license downclock.
+
+#if defined(__x86_64__)
+
+#include "data/loss_sampling_ymm.h"
+
+namespace cea::data::detail {
+namespace {
+
+__m256i mul64_vpmullq(__m256i x, std::uint64_t c) noexcept {
+  return _mm256_mullo_epi64(x,
+                            _mm256_set1_epi64x(static_cast<long long>(c)));
+}
+
+}  // namespace
+
+LossBatch draw_batch_kernel_avx512(const float* pairs, std::uint64_t size,
+                                   std::uint64_t key,
+                                   std::size_t n) noexcept {
+  return draw_batch_kernel_ymm<&mul64_vpmullq>(pairs, size, key, n);
+}
+
+}  // namespace cea::data::detail
+
+#endif  // defined(__x86_64__)

@@ -21,29 +21,32 @@ double probability_mass(std::span<const double> theta, double eta,
   return total;
 }
 
-/// d/dlambda of probability_mass (always negative on the valid range).
-double probability_mass_derivative(std::span<const double> theta, double eta,
-                                   double lambda) noexcept {
-  double total = 0.0;
-  for (double th : theta) {
-    const double denom = eta * (th + lambda);
-    total += -8.0 / (denom * denom * (th + lambda));
-  }
-  return total;
-}
-
 }  // namespace
 
 std::vector<double> tsallis_probabilities(
     std::span<const double> cumulative_losses, double eta) {
+  std::vector<double> p, theta;
+  tsallis_probabilities_into(cumulative_losses, eta, p, theta);
+  return p;
+}
+
+void tsallis_probabilities_into(std::span<const double> cumulative_losses,
+                                double eta, std::vector<double>& p,
+                                std::vector<double>& theta_scratch,
+                                double* scaled_lambda_warm) {
   assert(eta > 0.0);
   const std::size_t n = cumulative_losses.size();
   assert(n > 0);
-  if (n == 1) return {1.0};
+  p.resize(n);
+  if (n == 1) {
+    p[0] = 1.0;
+    return;
+  }
 
   // theta_n = C_n + 2/eta, shifted so that min(theta) = 0: subtracting a
   // constant from all losses only shifts lambda and improves conditioning.
-  std::vector<double> theta(n);
+  std::vector<double>& theta = theta_scratch;
+  theta.resize(n);
   const double min_loss =
       *std::min_element(cumulative_losses.begin(), cumulative_losses.end());
   for (std::size_t i = 0; i < n; ++i)
@@ -55,46 +58,90 @@ std::vector<double> tsallis_probabilities(
   const double lambda_lo = 2.0 / eta;
   const double lambda_hi = 2.0 * std::sqrt(static_cast<double>(n)) / eta;
 
-  // Safeguarded Newton from the midpoint.
-  double lambda = 0.5 * (lambda_lo + lambda_hi);
+  // Initial guess, best first: (a) the caller's warm hint — the scaled
+  // root eta*lambda of the previous block's solve, which drifts slowly
+  // between consecutive blocks; (b) the exact root of the equal-theta
+  // surrogate N * 4/(eta (mean_theta + lambda))^2 = 1, within a few
+  // percent of the true root for small loss spreads; (c) the bracket
+  // midpoint.
+  double lambda = 0.0;
+  bool have_guess = false;
+  if (scaled_lambda_warm != nullptr && *scaled_lambda_warm > 0.0) {
+    lambda = *scaled_lambda_warm / eta;
+    have_guess = lambda > lambda_lo && lambda < lambda_hi;
+  }
+  if (!have_guess) {
+    double mean_theta = 0.0;
+    for (double th : theta) mean_theta += th;
+    mean_theta /= static_cast<double>(n);
+    lambda = lambda_hi - mean_theta;
+    if (!(lambda > lambda_lo && lambda < lambda_hi))
+      lambda = 0.5 * (lambda_lo + lambda_hi);
+  }
+
+  // Safeguarded Newton. Mass and derivative share one reciprocal per arm:
+  // p_n = 4 r^2 and dp_n/dlambda = -2 eta p_n r with
+  // r = 1/(eta (theta_n + lambda)), so each iteration costs one division
+  // per arm. The tolerance is loose (1e-10) because the final
+  // renormalization absorbs any residual mass error exactly.
   double lo = lambda_lo, hi = lambda_hi;
   bool newton_ok = false;
+  double total = 0.0;   // mass at the lambda the p[] values were taken at
+  bool p_current = false;
   for (int iter = 0; iter < 100; ++iter) {
-    const double mass = probability_mass(theta, eta, lambda) - 1.0;
-    if (std::abs(mass) < 1e-13) {
+    double mass = 0.0, deriv = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = 1.0 / (eta * (theta[i] + lambda));
+      const double mass_i = 4.0 * r * r;
+      p[i] = mass_i;  // unnormalized p_n; reused on the converged exit
+      mass += mass_i;
+      deriv -= 2.0 * eta * mass_i * r;
+    }
+    total = mass;
+    p_current = true;
+    if (std::abs(mass - 1.0) < 1e-10) {
       newton_ok = true;
       break;
     }
-    if (mass > 0.0)
+    if (mass > 1.0)
       lo = lambda;  // too much mass -> lambda must grow
     else
       hi = lambda;
-    const double deriv = probability_mass_derivative(theta, eta, lambda);
-    double next = lambda - mass / deriv;
+    // Newton step on h(lambda) = mass^{-1/2} - 1 instead of mass - 1:
+    // when one arm dominates, mass ~ a/(theta+lambda)^2, so h is exactly
+    // linear in lambda and the step lands on the root immediately; in
+    // mixed regimes it stays quadratically convergent. Algebraically
+    // lambda - h/h' = lambda + 2 (mass - mass^{3/2}) / mass'.
+    double next = lambda + 2.0 * (mass - mass * std::sqrt(mass)) / deriv;
     if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
-    if (std::abs(next - lambda) < 1e-15 * std::max(1.0, std::abs(lambda))) {
-      lambda = next;
+    const bool stalled =
+        std::abs(next - lambda) < 1e-15 * std::max(1.0, std::abs(lambda));
+    lambda = next;
+    p_current = false;
+    if (stalled) {
       newton_ok = true;
       break;
     }
-    lambda = next;
   }
   if (!newton_ok) {
     const auto root = brent_root(
         [&](double l) { return probability_mass(theta, eta, l) - 1.0; },
         lambda_lo, lambda_hi, 1e-14);
     if (root.converged) lambda = root.x;
+    p_current = false;
   }
+  if (scaled_lambda_warm != nullptr) *scaled_lambda_warm = eta * lambda;
 
-  std::vector<double> p(n);
-  double total = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double denom = eta * (theta[i] + lambda);
-    p[i] = 4.0 / (denom * denom);
-    total += p[i];
+  if (!p_current) {
+    total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double denom = eta * (theta[i] + lambda);
+      p[i] = 4.0 / (denom * denom);
+      total += p[i];
+    }
   }
-  for (auto& v : p) v /= total;  // exact renormalization
-  return p;
+  const double inv_total = 1.0 / total;
+  for (auto& v : p) v *= inv_total;  // exact renormalization
 }
 
 double tsallis_step_objective(std::span<const double> cumulative_losses,

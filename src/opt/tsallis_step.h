@@ -22,6 +22,23 @@ namespace cea {
 std::vector<double> tsallis_probabilities(
     std::span<const double> cumulative_losses, double eta);
 
+/// Allocation-free variant for callers on a hot path (the blocked policy
+/// re-solves this every block, i.e. every few simulated slots per edge):
+/// writes the probabilities into `p` and uses `theta_scratch` as working
+/// storage, both resized as needed and reusable across calls.
+///
+/// `scaled_lambda_warm`, when non-null, warm-starts the Newton iteration:
+/// on entry a positive *scaled_lambda_warm is taken as the scaled root
+/// eta*lambda of a previous, similar solve (pass 0.0 when none); on exit it
+/// holds this solve's scaled root. Across consecutive blocks eta and the
+/// loss spread drift slowly, so the previous scaled root lands within the
+/// Newton region of the new one and typically saves most iterations. The
+/// safeguarded bracket makes a stale hint harmless.
+void tsallis_probabilities_into(std::span<const double> cumulative_losses,
+                                double eta, std::vector<double>& p,
+                                std::vector<double>& theta_scratch,
+                                double* scaled_lambda_warm = nullptr);
+
 /// Objective value of the OMD step at a given p (used by tests to verify
 /// optimality of tsallis_probabilities against direct minimization).
 double tsallis_step_objective(std::span<const double> cumulative_losses,

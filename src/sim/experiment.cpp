@@ -1,9 +1,7 @@
 #include "sim/experiment.h"
 
-#include <atomic>
 #include <cassert>
 #include <memory>
-#include <thread>
 
 #include "bandit/greedy_policy.h"
 #include "bandit/random_policy.h"
@@ -17,6 +15,7 @@
 #include "trading/offline_lp_trader.h"
 #include "trading/random_trader.h"
 #include "trading/threshold_trader.h"
+#include "util/thread_pool.h"
 
 namespace cea::sim {
 
@@ -86,23 +85,11 @@ RunResult run_combo_averaged_parallel(const Environment& env,
                                       std::uint64_t base_seed,
                                       std::size_t threads) {
   assert(num_runs > 0);
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, num_runs);
   std::vector<RunResult> runs(num_runs);
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      const std::size_t r = next.fetch_add(1);
-      if (r >= num_runs) return;
-      runs[r] = run_combo(env, combo, base_seed + 1 + r);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
+  util::ThreadPool::global().parallel_for(
+      num_runs,
+      [&](std::size_t r) { runs[r] = run_combo(env, combo, base_seed + 1 + r); },
+      threads);
   return average_runs(runs);
 }
 

@@ -37,9 +37,11 @@ RunResult run_combo_averaged(const Environment& env,
                              const AlgorithmCombo& combo,
                              std::size_t num_runs, std::uint64_t base_seed);
 
-/// Same, with the independent runs dispatched across worker threads
-/// (0 = hardware concurrency). Seeds are identical to the serial version,
-/// so the averaged result is bit-for-bit the same.
+/// Same, with the independent runs dispatched over the persistent
+/// util::ThreadPool::global() (threads caps concurrency; 0 = the pool's
+/// full width, itself sized by CEA_BENCH_THREADS or hardware concurrency).
+/// Seeds are identical to the serial version, so the averaged result is
+/// bit-for-bit the same for every thread count.
 RunResult run_combo_averaged_parallel(const Environment& env,
                                       const AlgorithmCombo& combo,
                                       std::size_t num_runs,

@@ -53,6 +53,23 @@ RunResult Simulator::run_fixed(const std::vector<std::size_t>& model_per_edge,
                   /*fixed_choices=*/true, &model_per_edge);
 }
 
+namespace {
+
+/// Everything one edge contributes to a slot. Written by the (possibly
+/// parallel) per-edge tasks into index-addressed slots, then reduced
+/// serially in edge order so the accumulation is order-independent.
+struct EdgePartial {
+  double inference_cost = 0.0;
+  double switching_cost = 0.0;
+  double energy_kwh = 0.0;
+  double weighted_correct = 0.0;
+  double samples = 0.0;
+  std::size_t model = 0;
+  bool switched = false;
+};
+
+}  // namespace
+
 RunResult Simulator::run_impl(
     std::vector<std::unique_ptr<bandit::ModelSelectionPolicy>> policies,
     const trading::TraderFactory& trader_factory, std::uint64_t run_seed,
@@ -60,10 +77,14 @@ RunResult Simulator::run_impl(
     const std::vector<std::size_t>* fixed_models) const {
   const std::size_t horizon = env_.horizon();
   const std::size_t num_edges = env_.num_edges();
+  const std::size_t num_models = env_.num_models();
   const auto& config = env_.config();
 
   auto trader = trader_factory(trader_context(run_seed));
-  Rng draw_rng(run_seed ^ 0xD1CE5EEDBEEFULL);
+  // Base of the per-(edge, slot) draw streams; also seeds the shared stream
+  // of the legacy per-sample reference mode.
+  const std::uint64_t draw_seed = run_seed ^ 0xD1CE5EEDBEEFULL;
+  Rng shared_draw_rng(draw_seed);
 
   RunResult result;
   result.algorithm = std::move(algorithm_name);
@@ -76,15 +97,44 @@ RunResult Simulator::run_impl(
   result.accuracy.assign(horizon, 0.0);
   result.workload.assign(horizon, 0.0);
   result.selection_counts.assign(
-      num_edges, std::vector<std::size_t>(env_.num_models(), 0));
+      num_edges, std::vector<std::size_t>(num_models, 0));
   result.carbon_cap = config.carbon_cap;
   result.settlement_price = config.settlement_penalty_multiplier *
                             env_.prices().buy.back();
 
+  // Hoisted slot invariants (SoA): one cache-friendly flat array per
+  // quantity instead of a ModelInfo/virtual-call chase in the hot loop.
+  std::vector<double> energy_per_sample(num_models);
+  std::vector<double> mean_loss(num_models);
+  std::vector<const data::LossProfile*> profiles(num_models);
+  std::vector<std::size_t> shift_target(num_models);
+  for (std::size_t n = 0; n < num_models; ++n) {
+    energy_per_sample[n] = env_.models()[n].energy_per_sample;
+    mean_loss[n] = env_.models()[n].profile.mean_loss();
+    profiles[n] = &env_.models()[n].profile;
+    shift_target[n] = env_.shift_target(n);
+  }
+  std::vector<double> edge_switch_cost(num_edges);
+  std::vector<double> comp_cost(num_edges * num_models);
+  std::vector<double> transfer_energy(num_edges * num_models);
+  std::vector<const int*> edge_workload(num_edges);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    edge_switch_cost[i] = env_.switching_cost(i);
+    edge_workload[i] = env_.workload()[i].data();
+    for (std::size_t n = 0; n < num_models; ++n) {
+      comp_cost[i * num_models + n] = env_.computation_cost(i, n);
+      transfer_energy[i * num_models + n] = env_.transfer_energy(i, n);
+    }
+  }
+
   std::vector<std::size_t> previous_model(num_edges, SIZE_MAX);
+  std::vector<EdgePartial> partials(num_edges);
   // Allowance balance R + sum(z - w - e); sales are clamped so it cannot go
   // negative through selling (see SimConfig::clamp_sales_to_holdings).
   double allowance_balance = config.carbon_cap;
+
+  const bool per_sample = options_.per_sample_draws;
+  util::ThreadPool* pool = per_sample ? nullptr : options_.pool;
 
   for (std::size_t t = 0; t < horizon; ++t) {
     const trading::TradeObservation quote{env_.prices().buy[t],
@@ -95,64 +145,93 @@ RunResult Simulator::run_impl(
                             std::max(0.0, allowance_balance + trade.buy));
     }
 
-    double slot_energy_kwh = 0.0;
-    double weighted_correct = 0.0;
-    double slot_samples = 0.0;
-
     // Concept drift (SimConfig::loss_shift_slot): the loss distribution a
     // hosted model produces flips to its mirror after the shift slot.
     const bool shifted =
         config.loss_shift_slot > 0 && t >= config.loss_shift_slot;
 
-    for (std::size_t i = 0; i < num_edges; ++i) {
+    // Per-edge work: model selection, batched loss sampling, bandit
+    // feedback. Touches only state indexed by the edge (its policy, its
+    // previous model, its partial slot), so it is safe to fan out.
+    auto edge_task = [&](std::size_t i) {
+      EdgePartial& part = partials[i];
+      part = EdgePartial{};
       const std::size_t model =
           fixed_choices ? (*fixed_models)[i] : policies[i]->select(t);
-      const std::size_t loss_model =
-          shifted ? env_.shift_target(model) : model;
-      const ModelInfo& info = env_.models()[model];
-      const ModelInfo& loss_info = env_.models()[loss_model];
+      const std::size_t loss_model = shifted ? shift_target[model] : model;
       const bool switched = (model != previous_model[i]);
       if (switched) {
-        result.switching_cost[t] += env_.switching_cost(i);
-        slot_energy_kwh += env_.transfer_energy(i, model);
-        ++result.total_switches;
+        part.switching_cost = edge_switch_cost[i];
+        part.energy_kwh += transfer_energy[i * num_models + model];
       }
       previous_model[i] = model;
-      ++result.selection_counts[i][model];
+      part.model = model;
+      part.switched = switched;
 
-      const auto samples =
-          static_cast<std::size_t>(env_.workload()[i][t]);
+      const auto samples = static_cast<std::size_t>(edge_workload[i][t]);
       const std::size_t draws =
           config.loss_draw_cap == 0
               ? samples
               : std::min<std::size_t>(samples, config.loss_draw_cap);
 
-      double loss_sum = 0.0;
-      double correct = 0.0;
-      for (std::size_t d = 0; d < draws; ++d) {
-        const data::LossDraw draw = loss_info.profile.draw(draw_rng);
-        loss_sum += draw.loss;
-        correct += draw.correct ? 1.0 : 0.0;
+      data::LossBatch batch;
+      if (per_sample) {
+        for (std::size_t d = 0; d < draws; ++d) {
+          const data::LossDraw draw =
+              profiles[loss_model]->draw(shared_draw_rng);
+          batch.loss_sum += draw.loss;
+          batch.correct_count += draw.correct ? 1 : 0;
+        }
+      } else {
+        // Keyed directly by the (edge, slot) stream seed: no generator
+        // construction on the hot path, same pure-function-of-(seed, i, t)
+        // determinism contract.
+        batch = profiles[loss_model]->draw_batch_keyed(
+            stream_seed(draw_seed, i, t), draws);
       }
       const double mean_sampled_loss =
-          draws > 0 ? loss_sum / static_cast<double>(draws) : 0.0;
+          draws > 0 ? batch.loss_sum / static_cast<double>(draws) : 0.0;
       const double sample_accuracy =
-          draws > 0 ? correct / static_cast<double>(draws) : 0.0;
+          draws > 0 ? static_cast<double>(batch.correct_count) /
+                          static_cast<double>(draws)
+                    : 0.0;
 
       // Bandit feedback: L_{i,J}^t + v_{i,J} (Insight 2).
       if (!fixed_choices) {
         policies[i]->feedback(
-            t, model, mean_sampled_loss + env_.computation_cost(i, model));
+            t, model, mean_sampled_loss + comp_cost[i * num_models + model]);
       }
 
       // Objective (1) charges the expectation E[l_n] + v_{i,n}.
-      result.inference_cost[t] +=
-          loss_info.profile.mean_loss() + env_.computation_cost(i, model);
+      part.inference_cost =
+          mean_loss[loss_model] + comp_cost[i * num_models + model];
+      part.energy_kwh +=
+          energy_per_sample[model] * static_cast<double>(samples);
+      part.weighted_correct =
+          sample_accuracy * static_cast<double>(samples);
+      part.samples = static_cast<double>(samples);
+    };
 
-      slot_energy_kwh +=
-          info.energy_per_sample * static_cast<double>(samples);
-      weighted_correct += sample_accuracy * static_cast<double>(samples);
-      slot_samples += static_cast<double>(samples);
+    if (pool != nullptr) {
+      pool->parallel_for(num_edges, edge_task);
+    } else {
+      for (std::size_t i = 0; i < num_edges; ++i) edge_task(i);
+    }
+
+    // Serial reduction in edge order: identical floating-point accumulation
+    // regardless of how the tasks above were scheduled.
+    double slot_energy_kwh = 0.0;
+    double weighted_correct = 0.0;
+    double slot_samples = 0.0;
+    for (std::size_t i = 0; i < num_edges; ++i) {
+      const EdgePartial& part = partials[i];
+      result.inference_cost[t] += part.inference_cost;
+      result.switching_cost[t] += part.switching_cost;
+      if (part.switched) ++result.total_switches;
+      ++result.selection_counts[i][part.model];
+      slot_energy_kwh += part.energy_kwh;
+      weighted_correct += part.weighted_correct;
+      slot_samples += part.samples;
     }
 
     const double emission = config.emission_rate * slot_energy_kwh;

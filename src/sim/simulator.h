@@ -7,8 +7,29 @@
 #include "sim/environment.h"
 #include "sim/metrics.h"
 #include "trading/trader.h"
+#include "util/thread_pool.h"
 
 namespace cea::sim {
+
+/// Execution options of a Simulator. The default is the fast batched serial
+/// engine; benchmarks and large fleets opt into per-edge parallelism or the
+/// legacy reference path.
+struct SimOptions {
+  /// When set, the per-edge work of every slot is fanned out over this
+  /// pool. Results are bit-identical to pool == nullptr for any thread
+  /// count: loss draws are keyed by (run_seed, edge, t) and per-edge
+  /// partials are reduced serially in edge order. Requires policies whose
+  /// per-edge instances are independent (true of all built-in policies
+  /// except the pooled-learning extension, which shares state across
+  /// edges and must run serially).
+  util::ThreadPool* pool = nullptr;
+
+  /// Reference mode reproducing the original engine's cost profile: one
+  /// LossProfile::draw() call per streamed sample from a single shared RNG
+  /// stream. Serial only (the shared stream is order-dependent); kept for
+  /// the perf_simulator bench to measure the batched engine against.
+  bool per_sample_draws = false;
+};
 
 /// Drives the per-slot workflow of Fig. 2 over a scenario: per edge select
 /// and (maybe) download a model, stream the slot's M_i^t samples through
@@ -19,10 +40,17 @@ namespace cea::sim {
 /// (profile mean) while the policies only ever observe sampled losses —
 /// mirroring the paper, where the objective is an expectation but feedback
 /// is a sample.
+///
+/// Engine: loss sampling is batched (LossProfile::draw_batch) with one RNG
+/// stream per (edge, slot) derived from the run seed, and per-slot
+/// invariants (energy, computation cost, mean loss) are hoisted into flat
+/// arrays before the time loop. Sampling is therefore a pure function of
+/// (run_seed, edge, t), which makes the optional per-edge parallel mode
+/// (SimOptions::pool) bit-identical to the serial one.
 class Simulator {
  public:
-  explicit Simulator(const Environment& environment)
-      : env_(environment) {}
+  explicit Simulator(const Environment& environment, SimOptions options = {})
+      : env_(environment), options_(options) {}
 
   /// Run one full horizon with fresh policy instances.
   /// `run_seed` controls the run's stochasticity (policy sampling and loss
@@ -55,6 +83,7 @@ class Simulator {
                      const std::vector<std::size_t>* fixed_models) const;
 
   const Environment& env_;
+  SimOptions options_;
 };
 
 }  // namespace cea::sim

@@ -6,6 +6,25 @@
 
 namespace cea {
 
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash. Used to derive
+/// decorrelated seeds for logically-indexed random streams.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Seed for the (a, b)-indexed random stream of a base seed. The simulator
+/// keys loss-draw streams by (edge, slot) so that sampling is a pure
+/// function of (run_seed, edge, t) — independent of execution order, which
+/// is what makes the parallel engine bit-identical to the serial one.
+constexpr std::uint64_t stream_seed(std::uint64_t base, std::uint64_t a,
+                                    std::uint64_t b) noexcept {
+  std::uint64_t x = mix64(base ^ (a * 0x9E3779B97F4A7C15ULL +
+                                  0xD1B54A32D192ED03ULL));
+  return mix64(x ^ (b * 0x2545F4914F6CDD1DULL + 0x8CB92BA72F3D8DD7ULL));
+}
+
 /// Deterministic, seedable pseudo-random number generator.
 ///
 /// Implements xoshiro256** seeded through splitmix64. Every stochastic
@@ -21,8 +40,20 @@ class Rng {
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~result_type{0}; }
 
-  /// Next raw 64-bit word.
-  result_type operator()() noexcept;
+  /// Next raw 64-bit word. Defined inline: this is the innermost call of
+  /// the batched sampling loops, where an out-of-line call per word would
+  /// cost more than the generator itself.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl_(s_[3], 45);
+    return result;
+  }
 
   /// Derive an independent child stream; advances this stream once.
   Rng split() noexcept;
@@ -58,6 +89,10 @@ class Rng {
   std::vector<std::size_t> permutation(std::size_t n);
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

@@ -39,6 +39,74 @@ TEST(LossProfile, DrawMeanConvergesToTableMean) {
   EXPECT_NEAR(sum / n, profile.mean_loss(), 0.01);
 }
 
+TEST(LossProfile, DrawBatchMatchesSingleDrawStatistics) {
+  // draw_batch must sample the same distribution as n draw() calls: with a
+  // large n, mean loss and accuracy agree with independent single draws
+  // (and with the table statistics) to statistical tolerance.
+  Rng table_rng(20);
+  const LossProfile profile = make_parametric_profile(
+      "p", 0.6, 0.2, 0.7, 2.0, 4096, table_rng);
+  const std::size_t n = 200000;
+
+  Rng single_rng(21);
+  double single_sum = 0.0;
+  std::size_t single_correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const LossDraw draw = profile.draw(single_rng);
+    single_sum += draw.loss;
+    single_correct += draw.correct ? 1 : 0;
+  }
+
+  Rng batch_rng(22);
+  const LossBatch batch = profile.draw_batch(batch_rng, n);
+
+  const auto dn = static_cast<double>(n);
+  EXPECT_NEAR(batch.loss_sum / dn, single_sum / dn, 0.005);
+  EXPECT_NEAR(batch.loss_sum / dn, profile.mean_loss(), 0.005);
+  EXPECT_NEAR(static_cast<double>(batch.correct_count) / dn,
+              static_cast<double>(single_correct) / dn, 0.01);
+  EXPECT_NEAR(static_cast<double>(batch.correct_count) / dn,
+              profile.accuracy(), 0.01);
+}
+
+TEST(LossProfile, DrawBatchAggregatesTableEntriesOnly) {
+  // On a two-entry table every batch aggregate must decompose into counts
+  // of the two entries: loss_sum = a*0.25 + b*0.75 with a+b = n and
+  // correct_count = a (entry 0 is the only correct one).
+  LossProfile profile("m", {0.25, 0.75}, {1, 0}, 1.0);
+  Rng rng(23);
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{100},
+                        std::size_t{1000}}) {
+    const LossBatch batch = profile.draw_batch(rng, n);
+    const auto a = batch.correct_count;
+    ASSERT_LE(a, n);
+    const double expected =
+        static_cast<double>(a) * 0.25 + static_cast<double>(n - a) * 0.75;
+    EXPECT_NEAR(batch.loss_sum, expected, 1e-9);
+  }
+}
+
+TEST(LossProfile, DrawBatchZeroSamples) {
+  LossProfile profile("m", {0.25, 0.75}, {1, 0}, 1.0);
+  Rng rng(24);
+  const LossBatch batch = profile.draw_batch(rng, 0);
+  EXPECT_DOUBLE_EQ(batch.loss_sum, 0.0);
+  EXPECT_EQ(batch.correct_count, 0u);
+}
+
+TEST(LossProfile, DrawBatchDeterministicPerSeed) {
+  Rng table_rng(25);
+  const LossProfile profile = make_parametric_profile(
+      "p", 0.5, 0.15, 0.8, 1.0, 1024, table_rng);
+  Rng a(26), b(26), c(27);
+  const LossBatch ba = profile.draw_batch(a, 500);
+  const LossBatch bb = profile.draw_batch(b, 500);
+  const LossBatch bc = profile.draw_batch(c, 500);
+  EXPECT_DOUBLE_EQ(ba.loss_sum, bb.loss_sum);
+  EXPECT_EQ(ba.correct_count, bb.correct_count);
+  EXPECT_NE(ba.loss_sum, bc.loss_sum);
+}
+
 TEST(ParametricProfile, RespectsTargets) {
   Rng rng(4);
   const LossProfile profile =

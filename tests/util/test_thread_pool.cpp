@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace cea::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndSingleton) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "no indices expected"; });
+  int calls = 0;
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, IndexAddressedWritesMatchSerial) {
+  ThreadPool pool(3);
+  const std::size_t n = 1000;
+  std::vector<double> out(n, 0.0);
+  pool.parallel_for(n, [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 0.5);
+}
+
+TEST(ThreadPool, ReentrantCallRunsInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(8, [&](std::size_t outer) {
+    // A nested parallel_for from inside a job must not deadlock.
+    pool.parallel_for(8, [&](std::size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(10, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(ThreadPool, ConcurrencyCapStillCompletes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); },
+                    /*max_concurrency=*/2);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> sum{0};
+  a.parallel_for(5, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i) + 1);
+  });
+  EXPECT_EQ(sum.load(), 15);
+}
+
+}  // namespace
+}  // namespace cea::util
