@@ -6,6 +6,7 @@
 
 #include "bench_common.h"
 #include "core/regret.h"
+#include "sim/audit.h"
 #include "util/table.h"
 
 int main() {
@@ -66,5 +67,11 @@ int main() {
   table.print();
   std::printf("\nExpected shape: Ours below every baseline combo at the "
               "final slot and closest to Offline.\n");
-  return 0;
+
+  // Post-hoc audit of every averaged series, then drain the hot-path
+  // collector: in a -DCEA_AUDIT=ON build this turns any invariant
+  // violation encountered above into a nonzero exit code.
+  for (const auto& result : results)
+    sim::audit_run(env, result, /*averaged=*/true);
+  return sim::audit_exit_code("fig03");
 }

@@ -43,16 +43,17 @@ int main() {
   csv.write_row({"model", "expected_loss", "energy", "ours", "greedy",
                  "offline"});
   std::vector<double> losses, ours_counts;
-  const double scale = 1.0 / static_cast<double>(runs);
+  // average_runs already averages selection counts per run, so the counts
+  // are on a single run's scale whatever CEA_BENCH_RUNS is.
   for (std::size_t n = 0; n < env.num_models(); ++n) {
     const double expected = env.models()[n].profile.mean_loss() +
                             env.computation_cost(edge, n);
-    const double ours_n = scale * static_cast<double>(
-                                      ours.selection_counts[edge][n]);
-    const double greedy_n = scale * static_cast<double>(
-                                        greedy_run.selection_counts[edge][n]);
-    const double offline_n = scale * static_cast<double>(
-                                         offline.selection_counts[edge][n]);
+    const double ours_n =
+        static_cast<double>(ours.selection_counts[edge][n]);
+    const double greedy_n =
+        static_cast<double>(greedy_run.selection_counts[edge][n]);
+    const double offline_n =
+        static_cast<double>(offline.selection_counts[edge][n]);
     table.add_row(env.models()[n].name,
                   {expected, env.models()[n].energy_per_sample * 1e8, ours_n,
                    greedy_n, offline_n},

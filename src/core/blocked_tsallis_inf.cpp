@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <memory>
 
 #include "opt/tsallis_step.h"
+#include "util/check.h"
 
 namespace cea::core {
 
@@ -16,6 +18,7 @@ BlockedTsallisInfPolicy::BlockedTsallisInfPolicy(
     const bandit::PolicyContext& context, double discount)
     : schedule_(context.switching_cost, context.num_models),
       discount_(discount),
+      edge_(context.edge),
       rng_(context.seed),
       cumulative_losses_(context.num_models, 0.0),
       probabilities_(context.num_models,
@@ -29,19 +32,45 @@ void BlockedTsallisInfPolicy::start_block() {
   tsallis_probabilities_into(cumulative_losses_, schedule_.learning_rate(k),
                              probabilities_, solver_scratch_, &solver_warm_);
   current_arm_ = rng_.categorical(probabilities_);
+  CEA_CHECK(current_arm_ < probabilities_.size(), "blocked_tsallis.arm_index",
+            edge_, audit::kNoIndex, static_cast<double>(current_arm_),
+            "sampled arm " << current_arm_ << " out of range for "
+                           << probabilities_.size() << " models");
   slots_left_ = schedule_.block_length(k);
   block_loss_ = 0.0;
   block_open_ = true;
 }
 
 void BlockedTsallisInfPolicy::finish_block() {
+  // Block accounting: a block is only folded in once all of its scheduled
+  // slots were served (the truncated final block never reaches here), and
+  // the accumulated block loss must be a finite, nonnegative sum of
+  // per-slot losses (sampled loss + computation cost are both >= 0).
+  CEA_CHECK(slots_left_ == 0, "blocked_tsallis.block_truncated", edge_,
+            audit::kNoIndex, static_cast<double>(slots_left_),
+            "finish_block with " << slots_left_ << " slots left in block "
+                                 << (block_index_ + 1));
+  CEA_CHECK(std::isfinite(block_loss_) && block_loss_ >= 0.0,
+            "blocked_tsallis.block_loss", edge_, audit::kNoIndex, block_loss_,
+            "block loss " << block_loss_ << " not finite/nonnegative");
   // Optional non-stationarity discount: old evidence fades geometrically.
   if (discount_ < 1.0) {
     for (auto& c : cumulative_losses_) c *= discount_;
   }
   // Importance-weighted estimator: chat_{k,n} = 1{J=n} c_{k,n} / p_{k,n}.
+  // The sampled arm always has the solver's strictly positive probability;
+  // a degenerate weight means the simplex solve above went wrong.
+  CEA_CHECK(probabilities_[current_arm_] > 1e-12,
+            "blocked_tsallis.importance_weight", edge_, audit::kNoIndex,
+            probabilities_[current_arm_],
+            "importance weight 1/p with p = " << probabilities_[current_arm_]
+                                              << " for arm " << current_arm_);
   const double p = std::max(probabilities_[current_arm_], 1e-12);
   cumulative_losses_[current_arm_] += block_loss_ / p;
+  CEA_CHECK(std::isfinite(cumulative_losses_[current_arm_]),
+            "blocked_tsallis.estimate_finite", edge_, audit::kNoIndex,
+            cumulative_losses_[current_arm_],
+            "cumulative loss estimate diverged for arm " << current_arm_);
   ++block_index_;
   block_open_ = false;
 }

@@ -60,6 +60,7 @@ class BlockedTsallisInfPolicy final : public bandit::ModelSelectionPolicy {
 
   BlockSchedule schedule_;
   double discount_ = 1.0;
+  std::size_t edge_ = 0;  ///< owning edge, for audit-violation context
   Rng rng_;
   std::vector<double> cumulative_losses_;  // Chat_{i,k}(n)
   std::vector<double> probabilities_;      // p_{i,k,n}

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <memory>
 
+#include "util/check.h"
+
 namespace cea::core {
 
 OnlineCarbonTrader::OnlineCarbonTrader(const trading::TraderContext& context,
@@ -30,6 +32,17 @@ trading::TradeDecision OnlineCarbonTrader::decide(
       prev_decision_.buy + gamma2_ * (lambda_ - prev_buy_price_), context_);
   decision.sell = trading::clamp_trade(
       prev_decision_.sell + gamma2_ * (prev_sell_price_ - lambda_), context_);
+  CEA_CHECK(decision.buy >= 0.0 && decision.buy <= context_.max_trade_per_slot,
+            "trader.primal_box", audit::kNoIndex, audit::kNoIndex,
+            decision.buy,
+            "buy " << decision.buy << " outside [0, "
+                   << context_.max_trade_per_slot << "]");
+  CEA_CHECK(decision.sell >= 0.0 &&
+                decision.sell <= context_.max_trade_per_slot,
+            "trader.primal_box", audit::kNoIndex, audit::kNoIndex,
+            decision.sell,
+            "sell " << decision.sell << " outside [0, "
+                    << context_.max_trade_per_slot << "]");
   return decision;
 }
 
@@ -39,6 +52,21 @@ void OnlineCarbonTrader::feedback(std::size_t /*t*/, double emission,
   const double g = emission - per_slot_cap_share_ - executed.buy +
                    executed.sell;
   lambda_ = std::max(0.0, lambda_ + gamma1_ * g);
+  // Dual feasibility: lambda^{t+1} = [lambda^t + gamma1 g^t]^+ must stay
+  // finite and nonnegative; the executed trade the dual sees must lie in
+  // the liquidity box (the simulator's holdings clamp only shrinks sells).
+  CEA_CHECK(std::isfinite(lambda_) && lambda_ >= 0.0, "trader.dual_nonneg",
+            audit::kNoIndex, audit::kNoIndex, lambda_,
+            "lambda " << lambda_ << " after dual ascent with g = " << g);
+  CEA_CHECK(executed.buy >= 0.0 &&
+                executed.buy <= context_.max_trade_per_slot &&
+                executed.sell >= 0.0 &&
+                executed.sell <= context_.max_trade_per_slot,
+            "trader.executed_box", audit::kNoIndex, audit::kNoIndex,
+            executed.buy - executed.sell,
+            "executed trade (" << executed.buy << ", " << executed.sell
+                               << ") outside [0, "
+                               << context_.max_trade_per_slot << "]^2");
   prev_buy_price_ = obs.buy_price;
   prev_sell_price_ = obs.sell_price;
   prev_decision_ = executed;

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "opt/brent.h"
+#include "util/check.h"
 
 namespace cea {
 namespace {
@@ -142,6 +143,29 @@ void tsallis_probabilities_into(std::span<const double> cumulative_losses,
   }
   const double inv_total = 1.0 / total;
   for (auto& v : p) v *= inv_total;  // exact renormalization
+
+  // Audit invariants: the solver's residual mass before renormalization
+  // must be near 1 (else the root-finder silently failed and the
+  // renormalized p is a distorted distribution), and the output must be a
+  // probability simplex with every coordinate finite and positive.
+  CEA_CHECK(std::abs(total - 1.0) <= 1e-6, "tsallis.solver_residual",
+            audit::kNoIndex, audit::kNoIndex, total - 1.0,
+            "pre-normalization mass " << total << " deviates from 1 by "
+                                      << std::abs(total - 1.0));
+#if defined(CEA_AUDIT)
+  {
+    double audit_sum = 0.0;
+    for (double v : p) {
+      CEA_CHECK(std::isfinite(v) && v > 0.0 && v <= 1.0 + 1e-12,
+                "tsallis.simplex_coordinate", audit::kNoIndex,
+                audit::kNoIndex, v, "probability " << v << " outside (0, 1]");
+      audit_sum += v;
+    }
+    CEA_CHECK(std::abs(audit_sum - 1.0) <= 1e-12, "tsallis.simplex_mass",
+              audit::kNoIndex, audit::kNoIndex, audit_sum - 1.0,
+              "renormalized mass " << audit_sum << " != 1");
+  }
+#endif
 }
 
 double tsallis_step_objective(std::span<const double> cumulative_losses,

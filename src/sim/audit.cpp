@@ -1,0 +1,197 @@
+#include "sim/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace cea::sim {
+namespace {
+
+/// Collects into a local list and mirrors into the global collector.
+class Recorder {
+ public:
+  void add(std::string site, std::size_t edge, std::size_t slot,
+           double quantity, std::string message) {
+    audit::Violation violation{std::move(site), std::move(message), edge,
+                               slot, quantity};
+    audit::record(violation);
+    violations_.push_back(std::move(violation));
+  }
+
+  std::vector<audit::Violation> take() { return std::move(violations_); }
+
+ private:
+  std::vector<audit::Violation> violations_;
+};
+
+std::string format_quantity(double value) {
+  std::ostringstream out;
+  out.precision(12);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<audit::Violation> audit_run(const Environment& env,
+                                        const RunResult& result,
+                                        bool averaged) {
+  Recorder recorder;
+  const auto& config = env.config();
+  const std::size_t horizon = result.horizon();
+
+  if (horizon != env.horizon()) {
+    recorder.add("audit.horizon", audit::kNoIndex, audit::kNoIndex,
+                 static_cast<double>(horizon),
+                 "result horizon " + std::to_string(horizon) +
+                     " != environment horizon " +
+                     std::to_string(env.horizon()));
+    return recorder.take();
+  }
+  for (const auto* series :
+       {&result.switching_cost, &result.trading_cost, &result.emissions,
+        &result.buys, &result.sells, &result.accuracy, &result.workload}) {
+    if (series->size() != horizon) {
+      recorder.add("audit.series_length", audit::kNoIndex, audit::kNoIndex,
+                   static_cast<double>(series->size()),
+                   "per-slot series length mismatch vs horizon " +
+                       std::to_string(horizon));
+      return recorder.take();
+    }
+  }
+
+  double balance = config.carbon_cap;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    const double buy = result.buys[t];
+    const double sell = result.sells[t];
+
+    const double expected_cost =
+        buy * env.prices().buy[t] - sell * env.prices().sell[t];
+    const double cost_scale =
+        std::max({1.0, std::abs(expected_cost), std::abs(result.trading_cost[t])});
+    if (std::abs(result.trading_cost[t] - expected_cost) > 1e-9 * cost_scale) {
+      recorder.add("audit.trading_cost_identity", audit::kNoIndex, t,
+                   result.trading_cost[t] - expected_cost,
+                   "trading cost " + format_quantity(result.trading_cost[t]) +
+                       " != z c - w r = " + format_quantity(expected_cost));
+    }
+
+    if (!(buy >= 0.0 && buy <= config.max_trade_per_slot + 1e-9 &&
+          sell >= 0.0 && sell <= config.max_trade_per_slot + 1e-9)) {
+      recorder.add("audit.trade_box", audit::kNoIndex, t, buy - sell,
+                   "trade (" + format_quantity(buy) + ", " +
+                       format_quantity(sell) + ") outside [0, " +
+                       format_quantity(config.max_trade_per_slot) + "]^2");
+    }
+
+    if (!averaged && config.clamp_sales_to_holdings &&
+        sell > std::max(0.0, balance + buy) + 1e-9) {
+      recorder.add("audit.holdings_clamp", audit::kNoIndex, t, sell,
+                   "sell " + format_quantity(sell) + " exceeds holdings " +
+                       format_quantity(std::max(0.0, balance + buy)));
+    }
+    balance += buy - sell - result.emissions[t];
+
+    if (!(std::isfinite(result.emissions[t]) && result.emissions[t] >= 0.0)) {
+      recorder.add("audit.emission_nonneg", audit::kNoIndex, t,
+                   result.emissions[t],
+                   "emission " + format_quantity(result.emissions[t]) +
+                       " not finite/nonnegative");
+    }
+    if (!(result.accuracy[t] >= 0.0 && result.accuracy[t] <= 1.0)) {
+      recorder.add("audit.accuracy_range", audit::kNoIndex, t,
+                   result.accuracy[t],
+                   "slot accuracy " + format_quantity(result.accuracy[t]) +
+                       " outside [0, 1]");
+    }
+    if (!(result.workload[t] >= 0.0)) {
+      recorder.add("audit.workload_nonneg", audit::kNoIndex, t,
+                   result.workload[t], "negative slot workload");
+    }
+  }
+
+  // Terminal fit: violation() must equal [-(final balance)]^+ of the ledger
+  // replayed above.
+  const double expected_violation = std::max(0.0, -balance);
+  if (std::abs(result.violation() - expected_violation) >
+      1e-9 * std::max(1.0, std::abs(expected_violation))) {
+    recorder.add("audit.terminal_fit", audit::kNoIndex, audit::kNoIndex,
+                 result.violation() - expected_violation,
+                 "violation() " + format_quantity(result.violation()) +
+                     " != [-(R + sum(z - w - e))]^+ = " +
+                     format_quantity(expected_violation));
+  }
+
+  // Selection counts: exactly one hosted model per edge per slot. Averaged
+  // results round each cell to the nearest integer, so their row sums get a
+  // num_models/2 slack; single runs must be exact.
+  if (result.selection_counts.size() != env.num_edges()) {
+    recorder.add("audit.selection_rows", audit::kNoIndex, audit::kNoIndex,
+                 static_cast<double>(result.selection_counts.size()),
+                 "selection_counts rows != num_edges");
+  } else {
+    for (std::size_t i = 0; i < result.selection_counts.size(); ++i) {
+      std::size_t total = 0;
+      for (std::size_t count : result.selection_counts[i]) total += count;
+      const std::size_t slack =
+          averaged ? result.selection_counts[i].size() / 2 : 0;
+      if (total + slack < horizon || total > horizon + slack) {
+        recorder.add("audit.selection_totals", i, audit::kNoIndex,
+                     static_cast<double>(total),
+                     "edge hosted " + std::to_string(total) +
+                         " model-slots over a horizon of " +
+                         std::to_string(horizon));
+      }
+    }
+  }
+
+  // First-slot semantics: the initial download is not a switch.
+  const std::size_t max_switches =
+      horizon == 0 ? 0 : env.num_edges() * (horizon - 1);
+  if (result.total_switches > max_switches) {
+    recorder.add("audit.switch_bound", audit::kNoIndex, audit::kNoIndex,
+                 static_cast<double>(result.total_switches),
+                 "total_switches " + std::to_string(result.total_switches) +
+                     " exceeds I*(T-1) = " + std::to_string(max_switches));
+  }
+
+  return recorder.take();
+}
+
+std::string format_violations(const std::vector<audit::Violation>& violations,
+                              std::size_t max_lines) {
+  std::ostringstream out;
+  const std::size_t shown = std::min(violations.size(), max_lines);
+  for (std::size_t v = 0; v < shown; ++v) {
+    const auto& violation = violations[v];
+    out << violation.site << " (";
+    if (violation.edge != audit::kNoIndex) out << "edge=" << violation.edge;
+    if (violation.edge != audit::kNoIndex &&
+        violation.slot != audit::kNoIndex) {
+      out << ", ";
+    }
+    if (violation.slot != audit::kNoIndex) out << "slot=" << violation.slot;
+    if (violation.edge == audit::kNoIndex &&
+        violation.slot == audit::kNoIndex) {
+      out << "global";
+    }
+    out << ", q=" << format_quantity(violation.quantity)
+        << "): " << violation.message << '\n';
+  }
+  if (violations.size() > shown) {
+    out << "... and " << (violations.size() - shown) << " more\n";
+  }
+  return out.str();
+}
+
+int audit_exit_code(const char* context_name) {
+  const auto violations = audit::drain();
+  if (violations.empty()) return 0;
+  std::fprintf(stderr, "%s: %zu audit violation(s) recorded:\n%s",
+               context_name, violations.size(),
+               format_violations(violations).c_str());
+  return 1;
+}
+
+}  // namespace cea::sim

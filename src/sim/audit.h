@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/environment.h"
+#include "sim/metrics.h"
+#include "util/check.h"
+
+namespace cea::sim {
+
+/// Post-hoc audit of a finished RunResult against its Environment. Re-derives
+/// every accounting identity the paper's carbon-neutrality claim rests on:
+///
+///  - trading-cost identity: trading_cost[t] == z^t c^t - w^t r^t;
+///  - liquidity box: z^t, w^t in [0, max_trade_per_slot];
+///  - holdings clamp (when configured): w^t <= max(0, balance + z^t) with
+///    balance = R + sum_{s<t}(z - w - e);
+///  - emission positivity and accuracy in [0, 1];
+///  - selection-count totals: every edge hosts exactly one model per slot;
+///  - first-slot semantics: switches can only occur from slot 1 on, so
+///    total_switches <= I * (T - 1);
+///  - violation()/settled_total_cost() consistency with the ledger.
+///
+/// Unlike the CEA_CHECK sites this runs in every build (it reads only the
+/// recorded series, never the hot path), so tests and benches can gate on
+/// it without an audit-enabled compile. Violations are returned AND pushed
+/// into the audit collector, giving one drain point for both layers.
+///
+/// Pass averaged = true for average_runs() outputs: per-slot linear
+/// identities survive averaging, but the holdings clamp does not (max(0,.)
+/// is convex, so the average of feasible runs can look infeasible) and the
+/// rounded selection counts get a num_models/2 slack instead of exactness.
+std::vector<audit::Violation> audit_run(const Environment& env,
+                                        const RunResult& result,
+                                        bool averaged = false);
+
+/// Human-readable rendering of violations, one per line with the (edge,
+/// slot, quantity) context; truncated to `max_lines` with a trailing count.
+std::string format_violations(const std::vector<audit::Violation>& violations,
+                              std::size_t max_lines = 20);
+
+/// Drain the process-wide audit collector and render a gate summary.
+/// Returns 0 (and prints nothing) when the collector is empty; otherwise
+/// prints the formatted violations to stderr and returns 1. Figure benches
+/// call this at exit so an audit-enabled build fails loudly on any
+/// recorded violation.
+int audit_exit_code(const char* context_name);
+
+}  // namespace cea::sim

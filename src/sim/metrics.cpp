@@ -58,9 +58,8 @@ double RunResult::settled_total_cost() const {
 
 double RunResult::unit_purchase_cost() const {
   const double net_quantity = total_buys() - total_sells();
-  const double net_cost = total_trading_cost();
-  if (std::abs(net_quantity) < 1e-9) return 0.0;
-  return net_cost / net_quantity;
+  if (net_quantity < 1e-9) return 0.0;  // net seller or flat: undefined
+  return total_trading_cost() / net_quantity;
 }
 
 RunResult average_runs(const std::vector<RunResult>& runs) {
@@ -86,15 +85,28 @@ RunResult average_runs(const std::vector<RunResult>& runs) {
   average_series(&RunResult::accuracy);
   average_series(&RunResult::workload);
 
+  // Selection counts and switches are averaged like every series (rounded
+  // to the nearest integer), so an averaged result stays on the same scale
+  // as a single run regardless of the repetition count — fig08 plots these
+  // counts directly.
   double switches = 0.0;
+  std::vector<std::vector<double>> count_sums(avg.selection_counts.size());
+  for (std::size_t i = 0; i < count_sums.size(); ++i)
+    count_sums[i].assign(avg.selection_counts[i].size(), 0.0);
   for (const auto& run : runs) {
     switches += static_cast<double>(run.total_switches);
-    if (&run != &runs.front()) {
-      for (std::size_t i = 0; i < avg.selection_counts.size(); ++i) {
-        for (std::size_t n = 0; n < avg.selection_counts[i].size(); ++n) {
-          avg.selection_counts[i][n] += run.selection_counts[i][n];
-        }
+    assert(run.selection_counts.size() == count_sums.size());
+    for (std::size_t i = 0; i < count_sums.size(); ++i) {
+      assert(run.selection_counts[i].size() == count_sums[i].size());
+      for (std::size_t n = 0; n < count_sums[i].size(); ++n) {
+        count_sums[i][n] += static_cast<double>(run.selection_counts[i][n]);
       }
+    }
+  }
+  for (std::size_t i = 0; i < count_sums.size(); ++i) {
+    for (std::size_t n = 0; n < count_sums[i].size(); ++n) {
+      avg.selection_counts[i][n] =
+          static_cast<std::size_t>(std::llround(count_sums[i][n] * inv));
     }
   }
   avg.total_switches =

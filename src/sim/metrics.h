@@ -43,8 +43,14 @@ struct RunResult {
   double total_sells() const;
   double mean_accuracy() const;
 
-  /// Average unit cost of net allowance acquisition:
-  /// (sum z c - sum w r) / max(sum z - sum w, eps). Fig. 9's second panel.
+  /// Average unit cost of net allowance acquisition (Fig. 9's second
+  /// panel): (sum z c - sum w r) / (sum z - sum w) when the run is a net
+  /// buyer. Sign convention: positive = paid per net unit acquired;
+  /// negative = the run *earned* money while accumulating allowances
+  /// (bought low, sold high). For net sellers and flat positions the
+  /// quantity is undefined and 0.0 is returned — dividing the net expense
+  /// by a negative net quantity would yield a meaningless "negative unit
+  /// cost" for runs that simply sold surplus at a profit.
   double unit_purchase_cost() const;
 
   /// Terminal carbon-neutrality violation (Theorem 2's fit).
@@ -57,8 +63,10 @@ struct RunResult {
 };
 
 /// Element-wise average of several runs of the *same* algorithm and horizon
-/// (the paper averages 10 runs). Selection counts are summed and switches
-/// averaged (rounded).
+/// (the paper averages 10 runs). Every per-slot series is averaged; the
+/// integer aggregates (selection counts, total switches) are averaged and
+/// rounded to the nearest integer, so the result is on a single run's scale
+/// independent of the repetition count.
 RunResult average_runs(const std::vector<RunResult>& runs);
 
 }  // namespace cea::sim

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <memory>
+
+#include "util/check.h"
 
 namespace cea::sim {
 
@@ -132,6 +135,12 @@ RunResult Simulator::run_impl(
   // Allowance balance R + sum(z - w - e); sales are clamped so it cannot go
   // negative through selling (see SimConfig::clamp_sales_to_holdings).
   double allowance_balance = config.carbon_cap;
+#if defined(CEA_AUDIT)
+  // Independent ledger re-accumulated from the *recorded* series, so any
+  // drift between what the simulator charges and what it reports shows up
+  // as a per-slot violation.
+  double audit_net_flow = 0.0;
+#endif
 
   const bool per_sample = options_.per_sample_draws;
   util::ThreadPool* pool = per_sample ? nullptr : options_.pool;
@@ -159,14 +168,21 @@ RunResult Simulator::run_impl(
       const std::size_t model =
           fixed_choices ? (*fixed_models)[i] : policies[i]->select(t);
       const std::size_t loss_model = shifted ? shift_target[model] : model;
-      const bool switched = (model != previous_model[i]);
-      if (switched) {
-        part.switching_cost = edge_switch_cost[i];
+      // The initial download (previous_model == SIZE_MAX) costs transfer
+      // energy but is not a "switch": the paper charges y_i^t u_i only when
+      // a *hosted* model is replaced, while every model placement — initial
+      // or not — moves bytes and therefore energy.
+      const bool first_slot = previous_model[i] == SIZE_MAX;
+      const bool switched = !first_slot && model != previous_model[i];
+      if (switched) part.switching_cost = edge_switch_cost[i];
+      if (switched || first_slot)
         part.energy_kwh += transfer_energy[i * num_models + model];
-      }
       previous_model[i] = model;
       part.model = model;
       part.switched = switched;
+      CEA_CHECK(t > 0 || !switched, "simulator.first_slot_switch", i, t,
+                static_cast<double>(model),
+                "edge charged a switch at t=0 (initial download)");
 
       const auto samples = static_cast<std::size_t>(edge_workload[i][t]);
       const std::size_t draws =
@@ -235,6 +251,16 @@ RunResult Simulator::run_impl(
     }
 
     const double emission = config.emission_rate * slot_energy_kwh;
+#if defined(CEA_AUDIT)
+    // Holdings clamp precondition, checked against the balance *before*
+    // this slot's trades are applied.
+    CEA_CHECK(!config.clamp_sales_to_holdings ||
+                  trade.sell <=
+                      std::max(0.0, allowance_balance + trade.buy) + 1e-9,
+              "simulator.holdings_clamp", audit::kNoIndex, t, trade.sell,
+              "sell " << trade.sell << " exceeds holdings "
+                      << std::max(0.0, allowance_balance + trade.buy));
+#endif
     allowance_balance += trade.buy - trade.sell - emission;
     result.emissions[t] = emission;
     result.buys[t] = trade.buy;
@@ -243,6 +269,47 @@ RunResult Simulator::run_impl(
     result.accuracy[t] =
         slot_samples > 0.0 ? weighted_correct / slot_samples : 0.0;
     result.workload[t] = slot_samples;
+
+#if defined(CEA_AUDIT)
+    {
+      // Ledger identity: allowance_balance == R + sum_{s<=t}(z - w - e),
+      // re-derived from the recorded series (tolerance covers the different
+      // accumulation grouping).
+      audit_net_flow += result.buys[t] - result.sells[t] - result.emissions[t];
+      const double ledger = config.carbon_cap + audit_net_flow;
+      const double scale =
+          std::max({1.0, std::abs(allowance_balance), std::abs(ledger)});
+      CEA_CHECK(std::abs(allowance_balance - ledger) <= 1e-9 * scale,
+                "simulator.ledger_identity", audit::kNoIndex, t,
+                allowance_balance - ledger,
+                "balance " << allowance_balance
+                           << " != R + sum(z - w - e) = " << ledger);
+      // Emission identity: e^t == rho * slot energy, with the energy
+      // re-summed from the per-edge partials in the same reduction order.
+      double audit_energy = 0.0;
+      for (std::size_t i = 0; i < num_edges; ++i)
+        audit_energy += partials[i].energy_kwh;
+      CEA_CHECK(emission == config.emission_rate * audit_energy &&
+                    std::isfinite(emission) && emission >= 0.0,
+                "simulator.emission_identity", audit::kNoIndex, t, emission,
+                "emission " << emission << " != rho * energy = "
+                            << config.emission_rate * audit_energy);
+      // Per-slot sanity of the recorded series.
+      CEA_CHECK(result.buys[t] >= 0.0 &&
+                    result.buys[t] <= config.max_trade_per_slot + 1e-9 &&
+                    result.sells[t] >= 0.0 &&
+                    result.sells[t] <= config.max_trade_per_slot + 1e-9,
+                "simulator.trade_box", audit::kNoIndex, t,
+                result.buys[t] - result.sells[t],
+                "trade (" << result.buys[t] << ", " << result.sells[t]
+                          << ") outside [0, " << config.max_trade_per_slot
+                          << "]^2");
+      CEA_CHECK(result.accuracy[t] >= 0.0 && result.accuracy[t] <= 1.0,
+                "simulator.accuracy_range", audit::kNoIndex, t,
+                result.accuracy[t],
+                "slot accuracy " << result.accuracy[t] << " outside [0, 1]");
+    }
+#endif
 
     trader->feedback(t, emission, quote, trade);
   }

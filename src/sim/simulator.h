@@ -60,8 +60,9 @@ class Simulator {
                 std::uint64_t run_seed, std::string algorithm_name) const;
 
   /// Run with fixed per-edge model choices (no learning) — used by the
-  /// Offline reference and by ablations. Switching cost is charged once at
-  /// the first slot (the initial download).
+  /// Offline reference and by ablations. The initial download at t=0 is
+  /// charged its transfer energy but no switching cost u_i (nothing hosted
+  /// is replaced), so a fixed choice never pays u_i at all.
   RunResult run_fixed(const std::vector<std::size_t>& model_per_edge,
                       const trading::TraderFactory& trader_factory,
                       std::uint64_t run_seed,

@@ -1,7 +1,10 @@
 #include "trading/lyapunov_trader.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
+
+#include "util/check.h"
 
 namespace cea::trading {
 
@@ -30,6 +33,9 @@ void LyapunovTrader::feedback(std::size_t /*t*/, double emission,
                             context_.horizon, 1));
   queue_ = std::max(
       0.0, queue_ + emission - target - executed.buy + executed.sell);
+  CEA_CHECK(std::isfinite(queue_) && queue_ >= 0.0, "lyapunov.queue_nonneg",
+            audit::kNoIndex, audit::kNoIndex, queue_,
+            "virtual queue " << queue_ << " after emission " << emission);
 }
 
 TraderFactory LyapunovTrader::factory(double v_parameter, double quantity) {

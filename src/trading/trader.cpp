@@ -1,11 +1,24 @@
 #include "trading/trader.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
 
 namespace cea::trading {
 
 double clamp_trade(double quantity, const TraderContext& context) noexcept {
-  return std::clamp(quantity, 0.0, context.max_trade_per_slot);
+  // A NaN proposal would pass through std::clamp unchanged and poison the
+  // ledger downstream; the audit build flags it at the source.
+  CEA_CHECK(std::isfinite(quantity), "trading.clamp_input", audit::kNoIndex,
+            audit::kNoIndex, quantity,
+            "non-finite trade proposal " << quantity);
+  const double clamped = std::clamp(quantity, 0.0, context.max_trade_per_slot);
+  CEA_CHECK(clamped >= 0.0 && clamped <= context.max_trade_per_slot,
+            "trading.clamp_range", audit::kNoIndex, audit::kNoIndex, clamped,
+            "clamped trade " << clamped << " outside [0, "
+                             << context.max_trade_per_slot << "]");
+  return clamped;
 }
 
 }  // namespace cea::trading

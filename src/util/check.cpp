@@ -1,0 +1,41 @@
+#include "util/check.h"
+
+#include <mutex>
+#include <utility>
+
+namespace cea::audit {
+namespace {
+
+std::mutex& collector_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<Violation>& collector() {
+  static std::vector<Violation> violations;
+  return violations;
+}
+
+}  // namespace
+
+void record(Violation violation) {
+  const std::lock_guard<std::mutex> lock(collector_mutex());
+  collector().push_back(std::move(violation));
+}
+
+std::size_t violation_count() noexcept {
+  const std::lock_guard<std::mutex> lock(collector_mutex());
+  return collector().size();
+}
+
+std::vector<Violation> drain() {
+  const std::lock_guard<std::mutex> lock(collector_mutex());
+  return std::exchange(collector(), {});
+}
+
+void clear() noexcept {
+  const std::lock_guard<std::mutex> lock(collector_mutex());
+  collector().clear();
+}
+
+}  // namespace cea::audit

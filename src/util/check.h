@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cea::audit {
+
+/// Sentinel for a check site with no edge/slot context (e.g. the Tsallis
+/// solver, which runs per block, not per slot).
+inline constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+/// One recorded invariant violation. Checks never abort the run: the
+/// simulator keeps going and the harness (test, bench gate) inspects the
+/// collector afterwards, so a single broken slot yields a full-context
+/// report instead of a core dump mid-horizon.
+struct Violation {
+  std::string site;     ///< static identifier, e.g. "trader.primal_box"
+  std::string message;  ///< formatted detail with the offending values
+  std::size_t edge = kNoIndex;
+  std::size_t slot = kNoIndex;
+  double quantity = 0.0;  ///< offending value / residual magnitude
+};
+
+/// True when the build was configured with -DCEA_AUDIT=ON, i.e. the
+/// CEA_CHECK sites below are compiled in.
+constexpr bool enabled() noexcept {
+#if defined(CEA_AUDIT)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Append to the process-wide collector (mutex-guarded; contention only on
+/// an actual violation or when the reporter drains, never on the check
+/// fast path).
+void record(Violation violation);
+
+/// Number of violations currently held.
+std::size_t violation_count() noexcept;
+
+/// Snapshot-and-clear the collector.
+std::vector<Violation> drain();
+
+/// Discard all recorded violations (test setup).
+void clear() noexcept;
+
+}  // namespace cea::audit
+
+/// CEA_CHECK(cond, site, edge, slot, quantity, message_stream)
+///
+/// Runtime invariant check compiled in only under -DCEA_AUDIT=ON; expands
+/// to nothing otherwise (zero cost when off — the condition is not even
+/// evaluated). On failure it records a Violation with (edge, slot,
+/// quantity) context; `message_stream` is an ostream expression, e.g.
+///   CEA_CHECK(x >= 0.0, "trader.dual_nonneg", edge, t, x,
+///             "lambda " << x << " < 0");
+/// and is only evaluated when the condition fails.
+#if defined(CEA_AUDIT)
+#define CEA_CHECK(cond, site, edge, slot, quantity, message_stream)     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream cea_check_stream_;                             \
+      cea_check_stream_ << message_stream;                              \
+      ::cea::audit::record({(site), cea_check_stream_.str(),            \
+                            static_cast<std::size_t>(edge),             \
+                            static_cast<std::size_t>(slot),             \
+                            static_cast<double>(quantity)});            \
+    }                                                                   \
+  } while (false)
+#else
+#define CEA_CHECK(cond, site, edge, slot, quantity, message_stream) \
+  do {                                                              \
+  } while (false)
+#endif

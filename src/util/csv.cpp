@@ -1,5 +1,6 @@
 #include "util/csv.h"
 
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -53,6 +54,19 @@ void CsvWriter::write_row(std::string_view label,
     ss.precision(10);
     ss << v;
     cells.push_back(ss.str());
+  }
+  write_cells(cells);
+}
+
+void CsvWriter::write_row_exact(std::string_view label,
+                                const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.emplace_back(label);
+  for (double v : values) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%a", v);
+    cells.emplace_back(buffer);
   }
   write_cells(cells);
 }

@@ -19,8 +19,14 @@ class CsvWriter {
   void write_row(std::initializer_list<std::string_view> cells);
   void write_row(const std::vector<std::string>& cells);
 
-  /// Convenience: format doubles with full precision.
+  /// Convenience: format doubles with 10 significant digits (plot-grade).
   void write_row(std::string_view label, const std::vector<double>& values);
+
+  /// Format doubles as C99 hex-floats (%a): every bit of the mantissa
+  /// round-trips exactly through strtod, which is what the golden-trace
+  /// regression harness relies on for bit-exact comparisons.
+  void write_row_exact(std::string_view label,
+                       const std::vector<double>& values);
 
  private:
   void write_cells(const std::vector<std::string>& cells);

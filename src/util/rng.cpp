@@ -1,5 +1,6 @@
 #include "util/rng.h"
 
+#include <cassert>
 #include <cmath>
 #include <numbers>
 
@@ -33,6 +34,9 @@ double Rng::uniform(double lo, double hi) noexcept {
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  // hi < lo would wrap the range computation below and silently sample
+  // from an unrelated interval; it is a caller bug, not a degenerate case.
+  assert(lo <= hi && "Rng::uniform_int requires lo <= hi");
   const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
   // Rejection sampling to avoid modulo bias.

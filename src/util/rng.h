@@ -64,7 +64,8 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) noexcept;
 
-  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi (asserted);
+  /// lo == hi and the full int64 range are both valid.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
 
   /// Standard normal via Box-Muller (cached second value).

@@ -110,6 +110,65 @@ TEST(OnlineCarbonTrader, UsesOnlyPastPrices) {
   EXPECT_DOUBLE_EQ(da.sell, db.sell);
 }
 
+TEST(OnlineCarbonTrader, HandComputedIteratesMatchAlgorithmTwo) {
+  // Fully hand-computed two-slot trace with the default scales on the
+  // horizon-125 context: gamma1 = 2/5 = 0.4, gamma2 = 10/5 = 2,
+  // R/T = 250/125 = 2, liquidity cap 10.
+  OnlineCarbonTrader trader(make_context(), {});
+  ASSERT_DOUBLE_EQ(trader.gamma1(), 0.4);
+  ASSERT_DOUBLE_EQ(trader.gamma2(), 2.0);
+  const trading::TradeObservation obs{8.0, 7.2};
+
+  // Slot 0: no (t-1) information yet -> hold Zbar^0 = (0, 0).
+  const auto d0 = trader.decide(0, obs);
+  EXPECT_DOUBLE_EQ(d0.buy, 0.0);
+  EXPECT_DOUBLE_EQ(d0.sell, 0.0);
+
+  // Dual: g = 5 - 2 - 0 + 0 = 3, lambda = [0 + 0.4 * 3]^+ = 1.2.
+  trader.feedback(0, 5.0, obs, d0);
+  EXPECT_NEAR(trader.lambda(), 1.2, 1e-12);
+
+  // Slot 1 primal closed form (lambda = 1.2, prices from slot 0):
+  //   z = clamp(0 + 2 * (1.2 - 8.0), 0, 10) = 0        (clamped at 0)
+  //   w = clamp(0 + 2 * (7.2 - 1.2), 0, 10) = 10       (clamped at cap)
+  const auto d1 = trader.decide(1, obs);
+  EXPECT_DOUBLE_EQ(d1.buy, 0.0);
+  EXPECT_DOUBLE_EQ(d1.sell, 10.0);
+}
+
+TEST(OnlineCarbonTrader, DualAscentUsesExecutedTrade) {
+  // When the simulator's holdings clamp shrinks the executed sell below
+  // the decided one, the dual must ascend with the *executed* trade.
+  OnlineCarbonTrader trader(make_context(), {});
+  const trading::TradeObservation obs{8.0, 7.2};
+  trader.feedback(0, 5.0, obs, {0.0, 0.0});  // lambda = 1.2 as above
+  const auto decided = trader.decide(1, obs);
+  ASSERT_DOUBLE_EQ(decided.sell, 10.0);
+  // Executed sell clamped to 4: g = 1 - 2 - 0 + 4 = 3,
+  // lambda = [1.2 + 0.4 * 3]^+ = 2.4. (With the decided sell of 10 it
+  // would have been [1.2 + 0.4 * 9]^+ = 4.8.)
+  trader.feedback(1, 1.0, obs, {0.0, 4.0});
+  EXPECT_NEAR(trader.lambda(), 2.4, 1e-12);
+}
+
+TEST(OnlineCarbonTrader, PrimalRecentersOnExecutedTrade) {
+  // The proximal step's center Zbar^{t-1} is the executed trade, not the
+  // decided one: w^2 = clamp(4 + 2 * (7.2 - 2.4), 0, 10) = 10 but computed
+  // from the executed center 4, visible with a smaller step size.
+  OnlineTraderConfig config;
+  config.gamma2_scale = 1.0;  // gamma2 = 0.2
+  OnlineCarbonTrader trader(make_context(), config);
+  const trading::TradeObservation obs{8.0, 7.2};
+  trader.feedback(0, 5.0, obs, {0.0, 0.0});  // lambda = 1.2
+  (void)trader.decide(1, obs);
+  trader.feedback(1, 1.0, obs, {0.0, 4.0});  // lambda = 2.4, center (0, 4)
+  const auto d2 = trader.decide(2, obs);
+  // w = clamp(4 + 0.2 * (7.2 - 2.4), 0, 10) = 4.96.
+  EXPECT_NEAR(d2.sell, 4.96, 1e-12);
+  // z = clamp(0 + 0.2 * (2.4 - 8.0), 0, 10) = 0.
+  EXPECT_DOUBLE_EQ(d2.buy, 0.0);
+}
+
 TEST(OnlineCarbonTrader, LongRunCoversEmissions) {
   // Stationary emissions above the cap share: over a long horizon the
   // cumulative net purchase must approach the cumulative uncovered

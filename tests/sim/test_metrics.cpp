@@ -60,6 +60,25 @@ TEST(RunResult, UnitPurchaseCostZeroNet) {
   EXPECT_DOUBLE_EQ(r.unit_purchase_cost(), 0.0);
 }
 
+TEST(RunResult, UnitPurchaseCostNetSellerIsZero) {
+  // A net seller's "unit purchase cost" is undefined; convention: 0.
+  auto r = make_result();
+  r.buys = {0.5, 0.0};
+  r.sells = {0.0, 2.0};
+  r.trading_cost = {-1.0, -2.0};  // earned money selling surplus
+  EXPECT_DOUBLE_EQ(r.unit_purchase_cost(), 0.0);
+}
+
+TEST(RunResult, UnitPurchaseCostNegativeWhenEarningWhileAccumulating) {
+  // Net buyer that bought low and sold high: negative unit cost is the
+  // documented sign convention (earned money per net unit acquired).
+  auto r = make_result();
+  r.buys = {3.0, 0.0};
+  r.sells = {0.0, 1.0};
+  r.trading_cost = {3.0, -7.0};  // bought 3 @ 1, sold 1 @ 7
+  EXPECT_DOUBLE_EQ(r.unit_purchase_cost(), -2.0);  // -4 / 2
+}
+
 TEST(AverageRuns, AveragesSeries) {
   auto a = make_result();
   auto b = make_result();
@@ -69,13 +88,29 @@ TEST(AverageRuns, AveragesSeries) {
   EXPECT_DOUBLE_EQ(avg.inference_cost[1], 4.0);  // (2+6)/2
 }
 
-TEST(AverageRuns, SumsSelectionCountsAndAveragesSwitches) {
+TEST(AverageRuns, AveragesSelectionCountsAndSwitches) {
+  // Two runs of the same scenario: the averaged result must stay on a
+  // single run's scale (counts averaged, not summed).
   auto a = make_result();
   auto b = make_result();
+  b.selection_counts = {{2, 0}};
   b.total_switches = 3;
   const auto avg = average_runs({a, b});
-  EXPECT_EQ(avg.selection_counts[0][0], 2u);
+  EXPECT_EQ(avg.selection_counts[0][0], 2u);  // llround((1+2)/2) = 2
+  EXPECT_EQ(avg.selection_counts[0][1], 1u);  // llround((1+0)/2) = 1
   EXPECT_EQ(avg.total_switches, 2u);
+}
+
+TEST(AverageRuns, SelectionCountsRoundToNearest) {
+  auto a = make_result();
+  auto b = make_result();
+  auto c = make_result();
+  a.selection_counts = {{2, 0}};
+  b.selection_counts = {{0, 2}};
+  c.selection_counts = {{0, 2}};
+  const auto avg = average_runs({a, b, c});
+  EXPECT_EQ(avg.selection_counts[0][0], 1u);  // llround(2/3) = 1
+  EXPECT_EQ(avg.selection_counts[0][1], 1u);  // llround(4/3) = 1
 }
 
 TEST(AverageRuns, SingleRunIdentity) {

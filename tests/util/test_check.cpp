@@ -1,0 +1,84 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace cea::audit {
+namespace {
+
+// The collector is process-global; every test starts from a clean slate.
+class CheckCollector : public ::testing::Test {
+ protected:
+  void SetUp() override { clear(); }
+  void TearDown() override { clear(); }
+};
+
+TEST_F(CheckCollector, StartsEmpty) {
+  EXPECT_EQ(violation_count(), 0u);
+  EXPECT_TRUE(drain().empty());
+}
+
+TEST_F(CheckCollector, RecordAccumulates) {
+  record({"site.a", "first", 2, 7, 1.5});
+  record({"site.b", "second"});
+  EXPECT_EQ(violation_count(), 2u);
+}
+
+TEST_F(CheckCollector, DrainReturnsAndClears) {
+  record({"site.a", "msg", 1, 3, -0.5});
+  const auto violations = drain();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].site, "site.a");
+  EXPECT_EQ(violations[0].message, "msg");
+  EXPECT_EQ(violations[0].edge, 1u);
+  EXPECT_EQ(violations[0].slot, 3u);
+  EXPECT_DOUBLE_EQ(violations[0].quantity, -0.5);
+  EXPECT_EQ(violation_count(), 0u);
+  EXPECT_TRUE(drain().empty());
+}
+
+TEST_F(CheckCollector, ClearDiscards) {
+  record({"site.a", "msg"});
+  clear();
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST_F(CheckCollector, DefaultContextIsNoIndex) {
+  record({"site.a", "msg"});
+  const auto violations = drain();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].edge, kNoIndex);
+  EXPECT_EQ(violations[0].slot, kNoIndex);
+}
+
+TEST_F(CheckCollector, MacroMatchesBuildConfiguration) {
+  // In a default build the macro must vanish entirely: the condition and
+  // the message stream are not evaluated. Under -DCEA_AUDIT=ON a failing
+  // condition records exactly one violation.
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  CEA_CHECK(touch(), "test.macro", 4, 9, 2.5, "value " << 2.5);
+  if (enabled()) {
+    EXPECT_EQ(evaluations, 1);
+    const auto violations = drain();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].site, "test.macro");
+    EXPECT_EQ(violations[0].edge, 4u);
+    EXPECT_EQ(violations[0].slot, 9u);
+    EXPECT_DOUBLE_EQ(violations[0].quantity, 2.5);
+    EXPECT_EQ(violations[0].message, "value 2.5");
+  } else {
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_EQ(violation_count(), 0u);
+  }
+}
+
+TEST_F(CheckCollector, MacroPassingConditionRecordsNothing) {
+  CEA_CHECK(true, "test.pass", 0, 0, 0.0, "never");
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cea::audit

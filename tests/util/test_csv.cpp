@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace cea {
 namespace {
@@ -68,6 +71,31 @@ TEST_F(CsvTest, WritesVectorOfStrings) {
     writer.write_row(std::vector<std::string>{"a,b", "c"});
   }
   EXPECT_EQ(read_file(path_), "\"a,b\",c\n");
+}
+
+TEST_F(CsvTest, ExactRowRoundTripsEveryBit) {
+  // write_row_exact emits C99 hex-floats: strtod must recover the exact
+  // bit pattern, including values that a decimal format would round.
+  const std::vector<double> values = {
+      0.1, 1.0 / 3.0, 6.02214076e23, -0.0, 5e-324 /* min subnormal */,
+      std::nextafter(1.0, 2.0)};
+  {
+    CsvWriter writer(path_);
+    writer.write_row_exact("row", values);
+  }
+  std::ifstream in(path_);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  std::istringstream cells(line);
+  std::string cell;
+  ASSERT_TRUE(std::getline(cells, cell, ','));
+  EXPECT_EQ(cell, "row");
+  for (double expected : values) {
+    ASSERT_TRUE(std::getline(cells, cell, ','));
+    const double parsed = std::strtod(cell.c_str(), nullptr);
+    EXPECT_EQ(std::signbit(parsed), std::signbit(expected)) << cell;
+    EXPECT_EQ(parsed, expected) << cell;
+  }
 }
 
 TEST(CsvWriterErrors, ThrowsOnBadPath) {

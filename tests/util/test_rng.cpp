@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -68,6 +69,20 @@ TEST(Rng, UniformIntCoversRangeInclusive) {
 TEST(Rng, UniformIntSingleton) {
   Rng rng(9);
   for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntFullRange) {
+  // The full int64 interval wraps the internal range computation to 0 and
+  // takes the dedicated raw-word path; both halves must appear.
+  Rng rng(23);
+  bool saw_negative = false, saw_nonnegative = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.uniform_int(std::numeric_limits<std::int64_t>::min(),
+                                   std::numeric_limits<std::int64_t>::max());
+    (v < 0 ? saw_negative : saw_nonnegative) = true;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_nonnegative);
 }
 
 TEST(Rng, NormalMoments) {
