@@ -4,14 +4,37 @@
 // same rows/series the corresponding paper figure reports and mirrors them
 // into a CSV under bench_out/ for plotting.
 
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "nn/gemm.h"
 #include "sim/experiment.h"
 #include "util/csv.h"
+#include "util/thread_pool.h"
 
 namespace cea::bench {
+
+/// Parse a `--threads=N` argument and attach an N-thread compute pool to
+/// the nn GEMM layer (N-1 workers plus the calling thread) so model
+/// training inside a bench fans out over batches. Returns the thread count
+/// in effect (1 = serial). Results are bit-identical for any N — the GEMM
+/// layer's determinism contract (see nn/gemm.h).
+inline std::size_t attach_compute_pool(int argc, char** argv) {
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const long v = std::strtol(argv[i] + 10, nullptr, 10);
+      if (v > 0) threads = static_cast<std::size_t>(v);
+    }
+  }
+  if (threads > 1) {
+    static util::ThreadPool pool(threads - 1);
+    nn::set_compute_pool(&pool);
+  }
+  return threads;
+}
 
 /// Number of averaged runs per data point. The paper averages 10; the
 /// benches default to 5 to keep the whole suite fast. Override with the

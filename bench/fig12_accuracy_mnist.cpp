@@ -27,14 +27,16 @@ std::size_t env_or(const char* name, std::size_t fallback) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cea;
+  const std::size_t nn_threads = bench::attach_compute_pool(argc, argv);
   const std::size_t train_samples = env_or("CEA_BENCH_TRAIN_SAMPLES", 500);
   const std::size_t epochs = env_or("CEA_BENCH_TRAIN_EPOCHS", 2);
 
   std::printf("Fig. 12 — per-slot accuracy on the MNIST-like stream\n");
-  std::printf("Training 6-model zoo (%zu samples, %zu epochs)...\n",
-              train_samples, epochs);
+  std::printf("Training 6-model zoo (%zu samples, %zu epochs, %zu nn "
+              "threads)...\n",
+              train_samples, epochs, nn_threads);
 
   const data::SyntheticDistribution dist(data::mnist_like_spec());
   Rng data_rng(1);

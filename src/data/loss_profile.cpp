@@ -7,6 +7,7 @@
 #include "data/loss_sampling.h"
 #include "nn/loss.h"
 #include "nn/train.h"
+#include "util/cpu.h"
 #include "util/stats.h"
 
 namespace cea::data {
@@ -73,24 +74,9 @@ LossBatch draw_batch_kernel_scalar(const float* pairs, std::uint64_t size,
   return acc.finish();
 }
 
-bool have_avx2() noexcept {
-#if defined(__x86_64__)
-  static const bool supported = __builtin_cpu_supports("avx2") != 0;
-  return supported;
-#else
-  return false;
-#endif
-}
+bool have_avx2() noexcept { return util::have_avx2(); }
 
-bool have_avx512() noexcept {
-#if defined(__x86_64__)
-  static const bool supported = __builtin_cpu_supports("avx512vl") != 0 &&
-                                __builtin_cpu_supports("avx512dq") != 0;
-  return supported;
-#else
-  return false;
-#endif
-}
+bool have_avx512() noexcept { return util::have_avx512(); }
 
 }  // namespace detail
 

@@ -73,7 +73,9 @@ LossBatch draw_batch_kernel_avx512(const float* pairs, std::uint64_t size,
                                    std::size_t n) noexcept;
 #endif
 
-/// True when the CPU supports the AVX2 kernel (cached after first call).
+/// True when the CPU supports the AVX2 kernel. Thin forwarders to
+/// util::have_avx2/have_avx512 (util/cpu.h), the process-wide feature
+/// cache shared with the nn GEMM dispatch.
 bool have_avx2() noexcept;
 
 /// True when the CPU supports the AVX-512VL/DQ kernel.

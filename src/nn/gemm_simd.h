@@ -1,0 +1,120 @@
+#pragma once
+
+// Shared SIMD micro-kernel body, parameterized on a vector-register
+// traits type (the loss_sampling_ymm.h pattern). Each SIMD TU includes
+// this header, instantiates MicroTile with its traits, and is compiled
+// with the matching -m flags — so this header must only be included from
+// those TUs.
+//
+// The register tile is Rows x (2 vectors): two B vectors are loaded per k
+// step and every A row broadcast multiplies both. Each accumulator lane
+// performs acc = acc + a*b in increasing-k order — V::madd is an explicit
+// multiply followed by an explicit add, never a fused operation (the TUs
+// are compiled with -ffp-contract=off to keep the compiler from fusing
+// them), so every lane evaluates exactly the scalar reference chain and
+// the variants stay bit-identical.
+
+#if defined(__x86_64__)
+
+#include <cstddef>
+
+#include "nn/gemm_kernels.h"
+
+namespace cea::nn::gemm::detail {
+
+template <typename V>
+struct MicroTile {
+  static constexpr std::size_t kMr = V::kMr;
+  static constexpr std::size_t kNr = 2 * V::kWidth;
+
+  template <std::size_t Rows>
+  static void rows_kernel(const float* a, std::size_t a_rstride,
+                          std::size_t a_kstride, const float* b,
+                          std::size_t b_kstride, std::size_t kc, float* c,
+                          std::size_t ldc, std::size_t cols, bool accumulate) {
+    typename V::Reg acc0[Rows], acc1[Rows];
+    for (std::size_t r = 0; r < Rows; ++r) {
+      acc0[r] = V::zero();
+      acc1[r] = V::zero();
+    }
+    for (std::size_t k = 0; k < kc; ++k) {
+      const typename V::Reg b0 = V::load(b + k * b_kstride);
+      const typename V::Reg b1 = V::load(b + k * b_kstride + V::kWidth);
+      const float* ak = a + k * a_kstride;
+      for (std::size_t r = 0; r < Rows; ++r) {
+        const typename V::Reg av = V::broadcast(ak + r * a_rstride);
+        acc0[r] = V::madd(av, b0, acc0[r]);
+        acc1[r] = V::madd(av, b1, acc1[r]);
+      }
+    }
+    if (cols == kNr) {
+      if (accumulate) {
+        for (std::size_t r = 0; r < Rows; ++r) {
+          float* cr = c + r * ldc;
+          V::store(cr, V::add(V::load(cr), acc0[r]));
+          V::store(cr + V::kWidth, V::add(V::load(cr + V::kWidth), acc1[r]));
+        }
+      } else {
+        for (std::size_t r = 0; r < Rows; ++r) {
+          float* cr = c + r * ldc;
+          V::store(cr, acc0[r]);
+          V::store(cr + V::kWidth, acc1[r]);
+        }
+      }
+    } else {
+      // Edge tile: full-width compute on zero-padded B, partial store.
+      // The per-lane update below is the same single update the full path
+      // performs in vector form.
+      alignas(64) float stage[kNr];
+      for (std::size_t r = 0; r < Rows; ++r) {
+        V::store(stage, acc0[r]);
+        V::store(stage + V::kWidth, acc1[r]);
+        float* cr = c + r * ldc;
+        if (accumulate) {
+          for (std::size_t j = 0; j < cols; ++j) cr[j] += stage[j];
+        } else {
+          for (std::size_t j = 0; j < cols; ++j) cr[j] = stage[j];
+        }
+      }
+    }
+  }
+
+  static void run(const float* a, std::size_t a_rs, std::size_t a_ks,
+                  const float* b, std::size_t b_ks, std::size_t kc, float* c,
+                  std::size_t ldc, std::size_t rows, std::size_t cols,
+                  bool acc) {
+    switch (rows) {
+      case 1:
+        rows_kernel<1>(a, a_rs, a_ks, b, b_ks, kc, c, ldc, cols, acc);
+        break;
+      case 2:
+        rows_kernel<2>(a, a_rs, a_ks, b, b_ks, kc, c, ldc, cols, acc);
+        break;
+      case 3:
+        rows_kernel<3>(a, a_rs, a_ks, b, b_ks, kc, c, ldc, cols, acc);
+        break;
+      case 4:
+        rows_kernel<4>(a, a_rs, a_ks, b, b_ks, kc, c, ldc, cols, acc);
+        break;
+      case 5:
+        rows_kernel<5>(a, a_rs, a_ks, b, b_ks, kc, c, ldc, cols, acc);
+        break;
+      case 6:
+        rows_kernel<6>(a, a_rs, a_ks, b, b_ks, kc, c, ldc, cols, acc);
+        break;
+      case 7:
+        if constexpr (kMr >= 7)
+          rows_kernel<7>(a, a_rs, a_ks, b, b_ks, kc, c, ldc, cols, acc);
+        break;
+      case 8:
+        if constexpr (kMr >= 8)
+          rows_kernel<8>(a, a_rs, a_ks, b, b_ks, kc, c, ldc, cols, acc);
+        break;
+      default: break;
+    }
+  }
+};
+
+}  // namespace cea::nn::gemm::detail
+
+#endif  // defined(__x86_64__)

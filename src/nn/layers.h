@@ -52,6 +52,12 @@ class Layer {
 };
 
 /// Fully connected layer: y = W x + b. Weights use He initialization.
+///
+/// Dense, Conv2D and DepthwiseConv2D run their forward AND backward
+/// matrix products through the tiled SIMD GEMM layer (nn/gemm.h) by
+/// default; the original seed loops are preserved behind
+/// set_compute_backend(ComputeBackend::kReference) as a numeric oracle
+/// and bench baseline.
 class Dense final : public Layer {
  public:
   Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
@@ -68,6 +74,9 @@ class Dense final : public Layer {
   std::size_t out_features() const noexcept { return out_; }
 
  private:
+  Tensor forward_reference(const Tensor& input);
+  Tensor backward_reference(const Tensor& grad_output);
+
   std::size_t in_, out_;
   std::vector<float> weights_;  // out x in, row-major
   std::vector<float> bias_;
@@ -92,12 +101,21 @@ class Conv2D final : public Layer {
   void visit_gradients(const GradientVisitor& visit) override;
 
  private:
+  Tensor forward_reference(const Tensor& input);
+  Tensor backward_reference(const Tensor& grad_output);
+
   std::size_t in_c_, out_c_, kernel_, stride_, padding_;
   std::vector<float> weights_;  // out_c x in_c x k x k
   std::vector<float> bias_;
   std::vector<float> grad_weights_;
   std::vector<float> grad_bias_;
   Tensor cached_input_;
+  // Per-sample (grad_weights, grad_bias) partials of the GEMM backward
+  // path, reduced serially in sample order so pooled and serial runs stay
+  // bit-identical. Kept as members so the workspace is reused across
+  // minibatches instead of reallocated per call.
+  std::vector<float> grad_w_scratch_;  // batch x out_c x depth
+  std::vector<float> grad_b_scratch_;  // batch x out_c
 };
 
 /// Depthwise 3x3-style convolution: one filter per input channel
@@ -116,12 +134,18 @@ class DepthwiseConv2D final : public Layer {
   void visit_gradients(const GradientVisitor& visit) override;
 
  private:
+  Tensor forward_reference(const Tensor& input);
+  Tensor backward_reference(const Tensor& grad_output);
+
   std::size_t channels_, kernel_, stride_, padding_;
   std::vector<float> weights_;  // channels x k x k
   std::vector<float> bias_;
   std::vector<float> grad_weights_;
   std::vector<float> grad_bias_;
   Tensor cached_input_;
+  // Per-sample gradient partials of the GEMM backward path (see Conv2D).
+  std::vector<float> grad_w_scratch_;  // batch x channels x k x k
+  std::vector<float> grad_b_scratch_;  // batch x channels
 };
 
 /// Elementwise rectified linear unit.
@@ -132,7 +156,17 @@ class ReLU final : public Layer {
   std::string name() const override { return "relu"; }
 
  private:
+  Tensor forward_reference(const Tensor& input);
+
+  // backward() only needs the activation signs, so the default path
+  // caches a byte mask rather than a copy of the input tensor. The
+  // reference path keeps the seed's deep copy (cached_input_) so the
+  // kReference baseline stays faithful; used_reference_ records which
+  // cache the last forward() filled.
+  std::vector<unsigned char> mask_;
+  std::vector<std::size_t> cached_shape_;
   Tensor cached_input_;
+  bool used_reference_ = false;
 };
 
 /// Max pooling with a square window; window == stride (non-overlapping).

@@ -13,26 +13,35 @@ QuantizationReport quantize_model(Sequential& model, std::size_t bits) {
   const double levels = std::pow(2.0, static_cast<double>(bits) - 1) - 1.0;
   double error_sum = 0.0;
   model.visit_parameters([&](std::span<float> block) {
+    // Scale from finite values only: one stray inf would zero the whole
+    // block, one NaN would poison it.
     float max_abs = 0.0f;
-    for (float v : block) max_abs = std::max(max_abs, std::abs(v));
+    for (float v : block)
+      if (std::isfinite(v)) max_abs = std::max(max_abs, std::abs(v));
+    report.parameter_count += block.size();
     if (max_abs == 0.0f) {
-      report.parameter_count += block.size();
+      for (float v : block)
+        if (!std::isfinite(v)) ++report.skipped_non_finite;
       return;
     }
     const float scale = max_abs / static_cast<float>(levels);
     for (auto& v : block) {
+      if (!std::isfinite(v)) {
+        ++report.skipped_non_finite;
+        continue;
+      }
       const float q = std::round(v / scale) * scale;
       const double err = std::abs(static_cast<double>(q) - v);
       report.max_abs_error = std::max(report.max_abs_error, err);
       error_sum += err;
       v = q;
     }
-    report.parameter_count += block.size();
   });
+  const std::size_t quantized =
+      report.parameter_count - report.skipped_non_finite;
   report.mean_abs_error =
-      report.parameter_count > 0
-          ? error_sum / static_cast<double>(report.parameter_count)
-          : 0.0;
+      quantized > 0 ? error_sum / static_cast<double>(quantized) : 0.0;
+  report.size_mb_before = quantized_size_mb(model, 32);
   report.size_mb = quantized_size_mb(model, bits);
   return report;
 }

@@ -10,9 +10,14 @@ namespace cea::nn {
 struct QuantizationReport {
   std::size_t bits = 8;          ///< target bit width
   std::size_t parameter_count = 0;
+  double size_mb_before = 0.0;   ///< size at float32 width, pre-quantization
   double size_mb = 0.0;          ///< size at the target width
   double max_abs_error = 0.0;    ///< worst per-parameter rounding error
   double mean_abs_error = 0.0;
+  /// Parameters left untouched because they were NaN/Inf. Non-finite
+  /// values would otherwise poison the per-block scale (max|v| = inf ->
+  /// every other weight rounds to 0) or propagate NaN into the grid.
+  std::size_t skipped_non_finite = 0;
 };
 
 /// Simulated post-training quantization: every parameter block is rounded

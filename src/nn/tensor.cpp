@@ -1,6 +1,8 @@
 #include "nn/tensor.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace cea::nn {
@@ -14,8 +16,23 @@ std::size_t Tensor::shape_size(const std::vector<std::size_t>& shape) noexcept {
 Tensor::Tensor(std::vector<std::size_t> shape)
     : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
 
+Tensor Tensor::uninitialized(std::vector<std::size_t> shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_.resize(shape_size(t.shape_));  // default-init: no zero pass
+  return t;
+}
+
 Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
-  assert(shape_size(new_shape) == size());
+  // Checked in every build type: a silent element-count mismatch here
+  // corrupts downstream indexing in ways that are hard to trace back.
+  if (shape_size(new_shape) != size()) {
+    std::fprintf(stderr,
+                 "Tensor::reshaped: new shape has %zu elements, tensor %s "
+                 "has %zu\n",
+                 shape_size(new_shape), shape_string().c_str(), size());
+    std::abort();
+  }
   Tensor out;
   out.shape_ = std::move(new_shape);
   out.data_ = data_;

@@ -3,11 +3,40 @@
 #include <cassert>
 #include <cstddef>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cea::nn {
+
+namespace detail {
+
+/// Allocator whose value-initialization is default-initialization: a
+/// resize() on a vector using it leaves new floats uninitialized instead
+/// of zeroing them. Tensor uses it so Tensor::uninitialized() can skip
+/// the zero pass; explicit fills (assign, fill) behave as usual.
+template <typename T>
+class DefaultInitAllocator : public std::allocator<T> {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+
+  using std::allocator<T>::allocator;
+
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0)
+      ::new (static_cast<void*>(p)) U;
+    else
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace detail
 
 /// Dense row-major float tensor with a dynamic shape.
 ///
@@ -24,6 +53,12 @@ class Tensor {
   Tensor(std::initializer_list<std::size_t> shape)
       : Tensor(std::vector<std::size_t>(shape)) {}
 
+  /// Tensor whose elements are NOT initialized. Only for callers that
+  /// provably overwrite every element before it is read (e.g. a layer
+  /// output filled by an overwriting GEMM) — reading an element first is
+  /// undefined behavior, exactly as with a malloc'd buffer.
+  static Tensor uninitialized(std::vector<std::size_t> shape);
+
   const std::vector<std::size_t>& shape() const noexcept { return shape_; }
   std::size_t rank() const noexcept { return shape_.size(); }
   std::size_t dim(std::size_t i) const noexcept { return shape_[i]; }
@@ -33,22 +68,34 @@ class Tensor {
   std::span<float> data() noexcept { return data_; }
   std::span<const float> data() const noexcept { return data_; }
 
-  float& operator[](std::size_t i) noexcept { return data_[i]; }
-  float operator[](std::size_t i) const noexcept { return data_[i]; }
+  float& operator[](std::size_t i) noexcept {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const noexcept {
+    assert(i < data_.size());
+    return data_[i];
+  }
 
   /// 2-D accessor (batch, feature).
   float& at(std::size_t b, std::size_t f) noexcept {
+    assert(rank() == 2 && b < shape_[0] && f < shape_[1]);
     return data_[b * shape_[1] + f];
   }
   float at(std::size_t b, std::size_t f) const noexcept {
+    assert(rank() == 2 && b < shape_[0] && f < shape_[1]);
     return data_[b * shape_[1] + f];
   }
 
   /// 4-D accessor (batch, channel, row, col).
   float& at(std::size_t b, std::size_t c, std::size_t y, std::size_t x) noexcept {
+    assert(rank() == 4 && b < shape_[0] && c < shape_[1] && y < shape_[2] &&
+           x < shape_[3]);
     return data_[((b * shape_[1] + c) * shape_[2] + y) * shape_[3] + x];
   }
   float at(std::size_t b, std::size_t c, std::size_t y, std::size_t x) const noexcept {
+    assert(rank() == 4 && b < shape_[0] && c < shape_[1] && y < shape_[2] &&
+           x < shape_[3]);
     return data_[((b * shape_[1] + c) * shape_[2] + y) * shape_[3] + x];
   }
 
@@ -64,7 +111,7 @@ class Tensor {
 
  private:
   std::vector<std::size_t> shape_;
-  std::vector<float> data_;
+  std::vector<float, detail::DefaultInitAllocator<float>> data_;
 };
 
 }  // namespace cea::nn

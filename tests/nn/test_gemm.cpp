@@ -1,0 +1,332 @@
+// Equivalence tests for the tiled SIMD GEMM layer (nn/gemm.h).
+//
+// The contract under test (documented in gemm.h / DESIGN.md):
+//  * every SIMD variant is BITWISE identical to the scalar reference
+//    micro-kernel, because all of them evaluate the same zero-initialized
+//    mul-then-add chain per output element;
+//  * serial and thread-pool execution are BITWISE identical, because K is
+//    never split and every C tile has exactly one writer;
+//  * the whole thing is a correct GEMM (checked against a naive
+//    double-accumulation loop with a tolerance).
+
+#include "nn/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/tensor.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+#include "util/cpu.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cea::nn {
+namespace {
+
+using gemm::Op;
+using gemm::Variant;
+
+struct Shape {
+  std::size_t m, n, k;
+};
+
+// Edge cases the tiling must survive: unit dims, sizes straddling the
+// micro-tile widths (6/8 rows, 16/32 columns), K crossing the 256-element
+// panel boundary, and the degenerate depthwise shape m == 1.
+const Shape kShapes[] = {
+    {1, 1, 1},    {1, 9, 196},  {1, 784, 9},   {2, 3, 4},
+    {5, 16, 7},   {6, 16, 32},  {7, 17, 64},   {8, 32, 31},
+    {9, 33, 300}, {13, 40, 257}, {32, 120, 400}, {32, 256, 784},
+    {64, 196, 288}, {67, 70, 513},
+};
+
+void fill_random(std::vector<float>& v, Rng& rng) {
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+/// Storage shapes for op(A) (m x k) and op(B) (k x n), plus leading dims.
+struct Operands {
+  std::vector<float> a, b, c;
+  std::size_t lda, ldb;
+};
+
+Operands make_operands(const Shape& s, Op op_a, Op op_b, Rng& rng) {
+  Operands o;
+  o.lda = op_a == Op::kNone ? s.k : s.m;
+  o.ldb = op_b == Op::kNone ? s.n : s.k;
+  o.a.resize(s.m * s.k);
+  o.b.resize(s.k * s.n);
+  o.c.resize(s.m * s.n);
+  fill_random(o.a, rng);
+  fill_random(o.b, rng);
+  fill_random(o.c, rng);  // accumulate semantics: C starts non-zero
+  return o;
+}
+
+/// Naive O(mnk) reference with double accumulation.
+std::vector<float> naive_gemm(const Shape& s, const Operands& o, Op op_a,
+                              Op op_b) {
+  std::vector<float> c = o.c;
+  for (std::size_t i = 0; i < s.m; ++i) {
+    for (std::size_t j = 0; j < s.n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < s.k; ++p) {
+        const float av =
+            op_a == Op::kNone ? o.a[i * o.lda + p] : o.a[p * o.lda + i];
+        const float bv =
+            op_b == Op::kNone ? o.b[p * o.ldb + j] : o.b[j * o.ldb + p];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      c[i * s.n + j] += static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+std::vector<float> run_variant(Variant variant, const Shape& s,
+                               const Operands& o, Op op_a, Op op_b,
+                               util::ThreadPool* pool) {
+  std::vector<float> c = o.c;
+  gemm::multiply_variant(variant, o.a.data(), o.lda, op_a, o.b.data(), o.ldb,
+                         op_b, c.data(), s.n, s.m, s.n, s.k, pool);
+  return c;
+}
+
+void expect_bitwise_equal(const std::vector<float>& expected,
+                          const std::vector<float>& actual,
+                          const std::string& what) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&expected[i], &actual[i], sizeof(float)), 0)
+        << what << ": element " << i << " differs: " << expected[i]
+        << " vs " << actual[i];
+  }
+}
+
+const Op kOps[] = {Op::kNone, Op::kTranspose};
+
+TEST(Gemm, MatchesNaiveReferenceAllOpCombos) {
+  Rng rng(101);
+  for (const Shape& s : kShapes) {
+    for (Op op_a : kOps) {
+      for (Op op_b : kOps) {
+        const Operands o = make_operands(s, op_a, op_b, rng);
+        const std::vector<float> expected = naive_gemm(s, o, op_a, op_b);
+        std::vector<float> c = o.c;
+        gemm::multiply(o.a.data(), o.lda, op_a, o.b.data(), o.ldb, op_b,
+                       c.data(), s.n, s.m, s.n, s.k);
+        for (std::size_t i = 0; i < c.size(); ++i) {
+          const float tol =
+              1e-4f * (1.0f + static_cast<float>(s.k) * 0.01f);
+          ASSERT_NEAR(c[i], expected[i], tol)
+              << s.m << "x" << s.n << "x" << s.k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Gemm, OverwriteModeIgnoresPriorC) {
+  Rng rng(151);
+  for (const Shape& s : kShapes) {
+    for (Op op_a : kOps) {
+      for (Op op_b : kOps) {
+        Operands o = make_operands(s, op_a, op_b, rng);
+        // Expected = naive product over a zeroed C; the actual C is left
+        // poisoned to prove accumulate == false never reads it.
+        Operands zeroed = o;
+        std::fill(zeroed.c.begin(), zeroed.c.end(), 0.0f);
+        const std::vector<float> expected =
+            naive_gemm(s, zeroed, op_a, op_b);
+        std::vector<float> c(s.m * s.n,
+                             std::numeric_limits<float>::quiet_NaN());
+        gemm::multiply(o.a.data(), o.lda, op_a, o.b.data(), o.ldb, op_b,
+                       c.data(), s.n, s.m, s.n, s.k, nullptr,
+                       /*accumulate=*/false);
+        for (std::size_t i = 0; i < c.size(); ++i) {
+          const float tol =
+              1e-4f * (1.0f + static_cast<float>(s.k) * 0.01f);
+          ASSERT_NEAR(c[i], expected[i], tol)
+              << s.m << "x" << s.n << "x" << s.k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Gemm, OverwriteBitwiseMatchesZeroFillAccumulate) {
+  // Overwrite stores exactly the accumulator a zero-initialized C would
+  // receive, for every variant and for pooled runs.
+  util::ThreadPool pool(3);
+  Rng rng(161);
+  const Variant variants[] = {Variant::kScalar, gemm::active_variant()};
+  for (const Shape& s : kShapes) {
+    const Operands o = make_operands(s, Op::kNone, Op::kNone, rng);
+    for (Variant variant : variants) {
+      for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr),
+                                  &pool}) {
+        std::vector<float> acc(s.m * s.n, 0.0f);
+        gemm::multiply_variant(variant, o.a.data(), o.lda, Op::kNone,
+                               o.b.data(), o.ldb, Op::kNone, acc.data(),
+                               s.n, s.m, s.n, s.k, p);
+        std::vector<float> over(s.m * s.n,
+                                std::numeric_limits<float>::quiet_NaN());
+        gemm::multiply_variant(variant, o.a.data(), o.lda, Op::kNone,
+                               o.b.data(), o.ldb, Op::kNone, over.data(),
+                               s.n, s.m, s.n, s.k, p,
+                               /*accumulate=*/false);
+        expect_bitwise_equal(acc, over, "overwrite vs zero+accumulate");
+      }
+    }
+  }
+}
+
+TEST(Gemm, Avx2BitwiseMatchesScalar) {
+  if (!util::have_avx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(202);
+  for (const Shape& s : kShapes) {
+    for (Op op_a : kOps) {
+      for (Op op_b : kOps) {
+        const Operands o = make_operands(s, op_a, op_b, rng);
+        expect_bitwise_equal(
+            run_variant(Variant::kScalar, s, o, op_a, op_b, nullptr),
+            run_variant(Variant::kAvx2, s, o, op_a, op_b, nullptr),
+            "avx2 vs scalar");
+      }
+    }
+  }
+}
+
+TEST(Gemm, Avx512BitwiseMatchesScalar) {
+  if (!util::have_avx512()) GTEST_SKIP() << "no AVX-512 on this machine";
+  Rng rng(303);
+  for (const Shape& s : kShapes) {
+    for (Op op_a : kOps) {
+      for (Op op_b : kOps) {
+        const Operands o = make_operands(s, op_a, op_b, rng);
+        expect_bitwise_equal(
+            run_variant(Variant::kScalar, s, o, op_a, op_b, nullptr),
+            run_variant(Variant::kAvx512, s, o, op_a, op_b, nullptr),
+            "avx512 vs scalar");
+      }
+    }
+  }
+}
+
+TEST(Gemm, PoolBitwiseMatchesSerial) {
+  util::ThreadPool pool(3);
+  Rng rng(404);
+  const Variant variants[] = {Variant::kScalar, gemm::active_variant()};
+  for (Variant variant : variants) {
+    if (variant == Variant::kAvx2 && !util::have_avx2()) continue;
+    if (variant == Variant::kAvx512 && !util::have_avx512()) continue;
+    for (const Shape& s : kShapes) {
+      for (Op op_a : kOps) {
+        const Operands o = make_operands(s, op_a, Op::kNone, rng);
+        expect_bitwise_equal(
+            run_variant(variant, s, o, op_a, Op::kNone, nullptr),
+            run_variant(variant, s, o, op_a, Op::kNone, &pool),
+            "pooled vs serial");
+      }
+    }
+  }
+}
+
+TEST(Gemm, RandomizedShapesAcrossVariantsAndPool) {
+  util::ThreadPool pool(2);
+  Rng rng(505);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Shape s{1 + static_cast<std::size_t>(rng.uniform(0.0, 90.0)),
+                  1 + static_cast<std::size_t>(rng.uniform(0.0, 90.0)),
+                  1 + static_cast<std::size_t>(rng.uniform(0.0, 600.0))};
+    const Op op_a = rng.uniform() < 0.5 ? Op::kNone : Op::kTranspose;
+    const Op op_b = rng.uniform() < 0.5 ? Op::kNone : Op::kTranspose;
+    const Operands o = make_operands(s, op_a, op_b, rng);
+    const std::vector<float> scalar =
+        run_variant(Variant::kScalar, s, o, op_a, op_b, nullptr);
+    if (util::have_avx2())
+      expect_bitwise_equal(
+          scalar, run_variant(Variant::kAvx2, s, o, op_a, op_b, nullptr),
+          "avx2");
+    if (util::have_avx512())
+      expect_bitwise_equal(
+          scalar, run_variant(Variant::kAvx512, s, o, op_a, op_b, nullptr),
+          "avx512");
+    expect_bitwise_equal(
+        scalar,
+        run_variant(gemm::active_variant(), s, o, op_a, op_b, &pool),
+        "pooled active variant");
+  }
+}
+
+/// Collect every parameter of a model into one flat vector.
+std::vector<float> snapshot_parameters(Sequential& model) {
+  std::vector<float> out;
+  model.visit_parameters([&](std::span<float> block) {
+    out.insert(out.end(), block.begin(), block.end());
+  });
+  return out;
+}
+
+TEST(Gemm, TrainingIsBitIdenticalSerialVsPooled) {
+  // Layer-level determinism: a short CNN training run must produce
+  // bit-identical parameters whether the compute pool is attached or not.
+  const auto train_once = [](util::ThreadPool* pool) {
+    set_compute_pool(pool);
+    Rng rng(99);
+    Sequential model = make_simple_cnn("det-cnn", mnist_spec(), 4, 8, rng);
+    Tensor samples({24, 1, 28, 28});
+    std::vector<std::size_t> labels(24);
+    for (auto& v : samples.data())
+      v = static_cast<float>(rng.uniform());
+    for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 10;
+    TrainConfig config;
+    config.epochs = 2;
+    config.batch_size = 8;
+    train_sgd(model, samples, labels, config, rng);
+    set_compute_pool(nullptr);
+    return snapshot_parameters(model);
+  };
+  const std::vector<float> serial = train_once(nullptr);
+  util::ThreadPool pool(3);
+  const std::vector<float> pooled = train_once(&pool);
+  expect_bitwise_equal(serial, pooled, "trained parameters");
+}
+
+TEST(Gemm, LayersMatchReferenceBackend) {
+  // The GEMM path reorders float accumulation relative to the seed loops,
+  // so agreement is tolerance-level, not bitwise. Forward and backward of
+  // all three rewired layers against the preserved reference path.
+  Rng rng(77);
+  Sequential gemm_model =
+      make_simple_cnn("ref-cnn", mnist_spec(), 4, 8, rng);
+  Rng rng2(77);
+  Sequential ref_model =
+      make_simple_cnn("ref-cnn", mnist_spec(), 4, 8, rng2);
+
+  Tensor batch({3, 1, 28, 28});
+  Rng data_rng(7);
+  for (auto& v : batch.data())
+    v = static_cast<float>(data_rng.uniform());
+  std::vector<std::size_t> labels = {1, 2, 3};
+
+  set_compute_backend(ComputeBackend::kGemm);
+  const Tensor out_gemm = gemm_model.forward(batch);
+  set_compute_backend(ComputeBackend::kReference);
+  const Tensor out_ref = ref_model.forward(batch);
+  set_compute_backend(ComputeBackend::kGemm);
+
+  ASSERT_EQ(out_gemm.shape(), out_ref.shape());
+  for (std::size_t i = 0; i < out_gemm.size(); ++i)
+    EXPECT_NEAR(out_gemm[i], out_ref[i], 1e-4f);
+}
+
+}  // namespace
+}  // namespace cea::nn

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "nn/layers.h"
@@ -76,6 +78,73 @@ TEST(Quantize, Idempotent) {
   });
   EXPECT_EQ(first, second);
   EXPECT_NEAR(second_report.max_abs_error, 0.0, 1e-12);
+}
+
+TEST(Quantize, ReportsSizeBeforeAndAfter) {
+  auto model = make_probe(8);
+  const auto report = quantize_model(model, 8);
+  EXPECT_NEAR(report.size_mb_before, model.size_mb(), 1e-12);
+  EXPECT_NEAR(report.size_mb, model.size_mb() / 4.0, 1e-12);
+  EXPECT_EQ(report.skipped_non_finite, 0u);
+}
+
+TEST(Quantize, SkipsNonFiniteParameters) {
+  auto model = make_probe(9);
+  // Poison a few parameters the way a diverged training run would.
+  std::size_t poisoned = 0;
+  model.visit_parameters([&](std::span<float> block) {
+    if (block.size() < 4 || poisoned >= 3) return;
+    block[0] = std::numeric_limits<float>::quiet_NaN();
+    block[1] = std::numeric_limits<float>::infinity();
+    block[2] = -std::numeric_limits<float>::infinity();
+    poisoned += 3;
+  });
+  ASSERT_EQ(poisoned, 3u);
+  const auto report = quantize_model(model, 8);
+  EXPECT_EQ(report.skipped_non_finite, 3u);
+  // The error stats must come from finite values only.
+  EXPECT_TRUE(std::isfinite(report.max_abs_error));
+  EXPECT_TRUE(std::isfinite(report.mean_abs_error));
+  EXPECT_LT(report.max_abs_error, 0.01);
+  // Finite values must still land on a sane grid: an inf-poisoned scale
+  // would have collapsed them all to zero.
+  std::size_t nonzero_finite = 0;
+  model.visit_parameters([&](std::span<float> block) {
+    for (float v : block)
+      if (std::isfinite(v) && v != 0.0f) ++nonzero_finite;
+  });
+  EXPECT_GT(nonzero_finite, 0u);
+}
+
+TEST(Quantize, AllNonFiniteBlockIsLeftAlone) {
+  auto model = make_probe(10);
+  std::size_t total = 0;
+  model.visit_parameters([&](std::span<float> block) {
+    for (auto& v : block) v = std::numeric_limits<float>::infinity();
+    total += block.size();
+  });
+  const auto report = quantize_model(model, 8);
+  EXPECT_EQ(report.skipped_non_finite, total);
+  EXPECT_EQ(report.max_abs_error, 0.0);
+  EXPECT_EQ(report.mean_abs_error, 0.0);
+}
+
+TEST(Quantize, QuantizedForwardStaysConsistent) {
+  // Post-quantization forward consistency through the default (GEMM)
+  // inference path: logits move by at most a small tolerance and the
+  // argmax ranking is essentially preserved.
+  Rng rng(11);
+  Sequential model = make_simple_cnn("q-cnn", mnist_spec(), 8, 16, rng);
+  Tensor batch({4, 1, 28, 28});
+  for (auto& v : batch.data()) v = static_cast<float>(rng.uniform());
+  model.set_training(false);
+  const Tensor before = model.forward(batch);
+  const auto report = quantize_model(model, 8);
+  EXPECT_EQ(report.skipped_non_finite, 0u);
+  const Tensor after = model.forward(batch);
+  ASSERT_EQ(before.shape(), after.shape());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_NEAR(before[i], after[i], 0.15f) << "logit " << i;
 }
 
 TEST(Quantize, EightBitPreservesTrainedAccuracy) {

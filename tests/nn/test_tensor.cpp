@@ -73,5 +73,47 @@ TEST(Tensor, ShapeSizeHelper) {
   EXPECT_EQ(Tensor::shape_size({}), 0u);
 }
 
+TEST(TensorDeathTest, ReshapedRejectsElementCountMismatch) {
+  // reshaped() checks in every build type (fprintf + abort), unlike the
+  // assert-based accessor guards below.
+  Tensor t({2, 6});
+  EXPECT_DEATH((void)t.reshaped({5, 5}), "12");
+  EXPECT_DEATH((void)t.reshaped({}), "0");
+}
+
+#ifndef NDEBUG
+
+TEST(TensorDeathTest, FlatIndexOutOfRangeAsserts) {
+  Tensor t({2, 3});
+  EXPECT_DEATH((void)t[6], "");
+  const Tensor& ct = t;
+  EXPECT_DEATH((void)ct[100], "");
+}
+
+TEST(TensorDeathTest, TwoDimAccessorAsserts) {
+  Tensor t({2, 3});
+  EXPECT_DEATH((void)t.at(2, 0), "");   // batch out of range
+  EXPECT_DEATH((void)t.at(0, 3), "");   // feature out of range
+  Tensor wrong_rank({2, 3, 4, 5});
+  EXPECT_DEATH((void)wrong_rank.at(0, 0), "");  // 2-D accessor on 4-D
+}
+
+TEST(TensorDeathTest, FourDimAccessorAsserts) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_DEATH((void)t.at(2, 0, 0, 0), "");
+  EXPECT_DEATH((void)t.at(0, 0, 0, 5), "");
+  Tensor flat({6});
+  EXPECT_DEATH((void)flat.at(0, 0, 0, 0), "");  // 4-D accessor on 1-D
+}
+
+#else
+
+TEST(TensorDeathTest, AccessorGuardsCompiledOut) {
+  GTEST_SKIP() << "accessor asserts are compiled out under NDEBUG; "
+                  "reshaped() is still covered above";
+}
+
+#endif  // NDEBUG
+
 }  // namespace
 }  // namespace cea::nn
