@@ -71,7 +71,9 @@ class FixedBlockTsallis final : public bandit::ModelSelectionPolicy {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
+
   const std::size_t runs = bench::num_runs();
   std::printf("Ablation — block schedule (growing sqrt(k) vs fixed), "
               "%zu-run avg\n\n",

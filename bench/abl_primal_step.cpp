@@ -72,7 +72,9 @@ class BangBangPdTrader final : public trading::TradingPolicy {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
+
   const std::size_t runs = bench::num_runs();
   std::printf("Ablation — Algorithm 2 primal step (proximal vs bang-bang), "
               "%zu-run avg\n\n",

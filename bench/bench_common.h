@@ -4,17 +4,206 @@
 // same rows/series the corresponding paper figure reports and mirrors them
 // into a CSV under bench_out/ for plotting.
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
+#include <sstream>
 #include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "nn/gemm.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
 #include "sim/experiment.h"
+#include "util/cpu.h"
 #include "util/csv.h"
 #include "util/thread_pool.h"
 
 namespace cea::bench {
+
+// ----------------------------------------------------------- run metadata
+
+/// ISA level the SIMD dispatch resolves to on this machine (after any
+/// CEA_FORCE_ISA cap).
+inline const char* isa_level() {
+  if (util::have_avx512()) return "avx512";
+  if (util::have_avx2()) return "avx2";
+  return "scalar";
+}
+
+/// HEAD commit of the working tree the bench runs in, or "unknown"
+/// outside a git checkout (CEA_GIT_SHA overrides, for CI tarballs).
+inline std::string git_sha() {
+  if (const char* env = std::getenv("CEA_GIT_SHA")) return env;
+  std::string sha;
+  if (FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buffer[80] = {0};
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) sha = buffer;
+    ::pclose(pipe);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+    sha.pop_back();
+  return sha.empty() ? "unknown" : sha;
+}
+
+/// Threads a bench fans out over: CEA_BENCH_THREADS when set (the global
+/// pool honors it), hardware concurrency otherwise.
+inline std::size_t bench_threads() {
+  if (const char* env = std::getenv("CEA_BENCH_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// UTC wall time, ISO-8601.
+inline std::string timestamp_utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buffer;
+}
+
+/// Provenance every bench artifact embeds: which commit, which ISA, how
+/// many threads, when. Wall-clock seconds are appended by the caller once
+/// the run finished.
+inline obs::Metadata run_metadata() {
+  return {
+      {"git_sha", git_sha()},
+      {"isa", isa_level()},
+      {"threads", std::to_string(bench_threads())},
+      {"timestamp_utc", timestamp_utc()},
+  };
+}
+
+/// run_metadata() (plus wall-clock seconds) rendered as a JSON object, for
+/// the benches' hand-rolled JSON mirrors (perf_nn.json, ...).
+inline std::string meta_json_object(double wall_clock_sec) {
+  obs::Metadata meta = run_metadata();
+  char wall[32];
+  std::snprintf(wall, sizeof(wall), "%.3f", wall_clock_sec);
+  meta.push_back({"wall_clock_sec", wall});
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "\"" << obs::json_escape(meta[i].first) << "\": ";
+    if (obs::is_json_number(meta[i].second)) {
+      out << meta[i].second;
+    } else {
+      out << "\"" << obs::json_escape(meta[i].second) << "\"";
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+// ------------------------------------------------------ telemetry session
+
+/// Harness side of the telemetry layer: parses (and strips, so
+/// google-benchmark argument parsing stays happy) `--telemetry [path]` /
+/// `--telemetry=path`, and when present enables tracing plus detail-level
+/// instrumentation and — at scope exit — writes the JSON profile to
+/// `path` and the Chrome trace (loadable at https://ui.perfetto.dev) next
+/// to it. Without the flag the session is inert: telemetry stays in its
+/// idle compiled-in state and nothing is written.
+class TelemetrySession {
+ public:
+  static constexpr const char* kDefaultPath = "bench_out/telemetry.json";
+
+  /// Parse and strip telemetry arguments from argv; argc is adjusted.
+  static TelemetrySession from_args(int& argc, char** argv) {
+    TelemetrySession session;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--telemetry") {
+        session.path_ = (i + 1 < argc && argv[i + 1][0] != '-')
+                            ? argv[++i]
+                            : kDefaultPath;
+      } else if (arg.rfind("--telemetry=", 0) == 0) {
+        session.path_ = std::string(arg.substr(12));
+        if (session.path_.empty()) session.path_ = kDefaultPath;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+    if (session.enabled()) {
+      obs::reset();
+      obs::enable_tracing();
+      obs::set_detail(true);
+    }
+    return session;
+  }
+
+  TelemetrySession() = default;
+  TelemetrySession(TelemetrySession&& other) noexcept { *this = std::move(other); }
+  TelemetrySession& operator=(TelemetrySession&& other) noexcept {
+    path_ = std::exchange(other.path_, std::string());
+    start_ = other.start_;
+    return *this;
+  }
+  ~TelemetrySession() { finish(); }
+
+  bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Path the Chrome trace lands at: "<path minus .json>.trace.json".
+  std::string trace_path() const {
+    std::string base = path_;
+    if (base.size() >= 5 && base.ends_with(".json"))
+      base.resize(base.size() - 5);
+    return base + ".trace.json";
+  }
+
+  /// Export the profile + trace (idempotent; the destructor calls this).
+  void finish() {
+    if (!enabled()) return;
+    const std::string path = std::exchange(path_, std::string());
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    obs::disable_tracing();
+    obs::set_detail(false);
+    obs::Metadata meta = run_metadata();
+    char wall_text[32];
+    std::snprintf(wall_text, sizeof(wall_text), "%.3f", wall);
+    meta.push_back({"wall_clock_sec", wall_text});
+
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    std::string trace = path;
+    if (trace.size() >= 5 && trace.ends_with(".json"))
+      trace.resize(trace.size() - 5);
+    trace += ".trace.json";
+    const bool wrote_profile =
+        obs::write_profile_json(path, obs::snapshot(), meta);
+    const auto events = obs::drain_trace();
+    const bool wrote_trace = obs::write_chrome_trace(trace, events);
+    if (wrote_profile && wrote_trace) {
+      std::printf("telemetry: wrote %s and %s (%zu trace events, %llu "
+                  "dropped)\n",
+                  path.c_str(), trace.c_str(), events.size(),
+                  static_cast<unsigned long long>(obs::trace_dropped()));
+    } else {
+      std::fprintf(stderr, "telemetry: failed writing %s / %s\n",
+                   path.c_str(), trace.c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
 
 /// Parse a `--threads=N` argument and attach an N-thread compute pool to
 /// the nn GEMM layer (N-1 workers plus the calling thread) so model

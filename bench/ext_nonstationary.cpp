@@ -14,7 +14,9 @@
 #include "core/carbon_trader.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
+
   using namespace cea;
   const std::size_t runs = bench::num_runs();
   const std::size_t horizon = 480, shift = 160;

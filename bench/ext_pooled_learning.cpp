@@ -10,7 +10,9 @@
 #include "core/pooled_tsallis.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
+
   using namespace cea;
   const std::size_t runs = bench::num_runs();
   std::printf("Extension — pooled cross-edge bandit learning (%zu-run "

@@ -11,7 +11,9 @@
 #include "core/regret.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
+
   using namespace cea;
   const std::size_t runs = bench::num_runs();
   std::printf("Extension — AR(1) price prediction in Algorithm 2 "

@@ -17,7 +17,9 @@
 #include "nn/zoo.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
+
   using namespace cea;
   const std::size_t runs = bench::num_runs();
   std::printf("Extension — quantization-aware carbon control (%zu-run avg)\n",

@@ -7,7 +7,9 @@
 #include "bench_common.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
+
   using namespace cea;
   const std::size_t runs = bench::num_runs();
   const std::vector<double> weights = {0.5, 1.0, 2.0, 4.0, 8.0};

@@ -8,7 +8,9 @@
 #include "bench_common.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
+
   using namespace cea;
   const std::size_t runs = bench::num_runs();
   const std::vector<double> rates = {250.0, 500.0, 750.0, 1000.0, 1250.0};

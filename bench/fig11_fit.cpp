@@ -7,7 +7,9 @@
 #include "core/regret.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
+
   using namespace cea;
   const std::size_t runs = bench::num_runs();
   const std::vector<std::size_t> horizons = {40, 80, 160, 320, 640};

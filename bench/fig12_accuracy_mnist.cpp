@@ -28,6 +28,8 @@ std::size_t env_or(const char* name, std::size_t fallback) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
+
   using namespace cea;
   const std::size_t nn_threads = bench::attach_compute_pool(argc, argv);
   const std::size_t train_samples = env_or("CEA_BENCH_TRAIN_SAMPLES", 500);

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/blocked_tsallis_inf.h"
 #include "core/carbon_trader.h"
 #include "opt/simplex.h"
@@ -98,3 +99,14 @@ BENCHMARK(BM_OfflineTradingLp)->Arg(40)->Arg(80)->Arg(160)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Explicit main (instead of benchmark::benchmark_main) so the telemetry
+// flag can be stripped before google-benchmark parses the argument list.
+int main(int argc, char** argv) {
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

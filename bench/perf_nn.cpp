@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "nn/gemm.h"
 #include "nn/tensor.h"
 #include "nn/train.h"
@@ -196,6 +197,8 @@ const char* variant_name(Variant variant) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto bench_start = std::chrono::steady_clock::now();
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
   const std::vector<GemmMode> modes = available_modes();
   for (const GemmShape& shape : kShapes) {
     for (const GemmMode& mode : modes) {
@@ -256,9 +259,14 @@ int main(int argc, char** argv) {
       seed_sps > 0.0 ? parallel_sps / seed_sps : 0.0;
   const unsigned hw_threads = std::thread::hardware_concurrency();
 
+  const double bench_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
   std::filesystem::create_directories("bench_out");
   std::ofstream json("bench_out/perf_nn.json");
   json << "{\n";
+  json << "  \"meta\": " << cea::bench::meta_json_object(bench_wall) << ",\n";
   json << "  \"hardware_threads\": " << hw_threads << ",\n";
   json << "  \"pool_workers\": " << util::ThreadPool::global().size() << ",\n";
   json << "  \"active_variant\": \""

@@ -18,12 +18,15 @@
 // parallel-vs-persample speedup at 50 edges is printed at the end.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "sim/experiment.h"
 #include "sim/simulator.h"
 #include "util/csv.h"
@@ -151,6 +154,8 @@ std::pair<std::string, std::string> parse_name(std::string name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto bench_start = std::chrono::steady_clock::now();
+  auto telemetry = cea::bench::TelemetrySession::from_args(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CapturingReporter reporter;
@@ -187,6 +192,27 @@ int main(int argc, char** argv) {
     std::printf("\n50-edge speedup vs per-sample engine: batched %.2fx, "
                 "batched+parallel %.2fx (target >= 5x)\n",
                 batched_50 / persample_50, parallel_50 / persample_50);
+  }
+
+  // JSON mirror of the CSV rows, stamped with run provenance.
+  {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      bench_start)
+            .count();
+    std::ofstream json("bench_out/perf_simulator.json");
+    json << "{\n  \"meta\": " << cea::bench::meta_json_object(wall)
+         << ",\n  \"rows\": [\n";
+    bool first = true;
+    for (const auto& [mode, edges] : order) {
+      const auto& [total, count] = sums.at({mode, edges});
+      if (!first) json << ",\n";
+      first = false;
+      json << "    {\"mode\": \"" << mode << "\", \"edges\": " << edges
+           << ", \"slots_per_sec\": "
+           << (total / static_cast<double>(count)) << "}";
+    }
+    json << "\n  ]\n}\n";
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/telemetry.h"
 #include "util/check.h"
 
 namespace cea::core {
@@ -28,10 +29,27 @@ trading::TradeDecision OnlineCarbonTrader::decide(
     return prev_decision_;
   }
   trading::TradeDecision decision;
-  decision.buy = trading::clamp_trade(
-      prev_decision_.buy + gamma2_ * (lambda_ - prev_buy_price_), context_);
-  decision.sell = trading::clamp_trade(
-      prev_decision_.sell + gamma2_ * (prev_sell_price_ - lambda_), context_);
+  const double raw_buy =
+      prev_decision_.buy + gamma2_ * (lambda_ - prev_buy_price_);
+  const double raw_sell =
+      prev_decision_.sell + gamma2_ * (prev_sell_price_ - lambda_);
+  decision.buy = trading::clamp_trade(raw_buy, context_);
+  decision.sell = trading::clamp_trade(raw_sell, context_);
+#if defined(CEA_TELEMETRY)
+  if (obs::detail_enabled()) {
+    // How often the rectified primal step's per-coordinate box clamp
+    // actually binds (per coordinate, either box face). Fires once per
+    // (edge-set, slot) decide — detail-gated with the rest of the
+    // per-slot trader telemetry to keep the idle cost to the single
+    // sim.slot span.
+    static const obs::MetricId obs_clamp_buy =
+        obs::counter("trader.primal_clamp.buy");
+    static const obs::MetricId obs_clamp_sell =
+        obs::counter("trader.primal_clamp.sell");
+    if (decision.buy != raw_buy) obs::add(obs_clamp_buy);
+    if (decision.sell != raw_sell) obs::add(obs_clamp_sell);
+  }
+#endif
   CEA_CHECK(decision.buy >= 0.0 && decision.buy <= context_.max_trade_per_slot,
             "trader.primal_box", audit::kNoIndex, audit::kNoIndex,
             decision.buy,
@@ -52,6 +70,22 @@ void OnlineCarbonTrader::feedback(std::size_t /*t*/, double emission,
   const double g = emission - per_slot_cap_share_ - executed.buy +
                    executed.sell;
   lambda_ = std::max(0.0, lambda_ + gamma1_ * g);
+#if defined(CEA_TELEMETRY)
+  if (obs::detail_enabled()) {
+    // Dual trajectory: last value as a gauge, distribution over the run as
+    // a histogram, and — when tracing — a Perfetto counter track that
+    // renders lambda over wall time.
+    static const obs::MetricId obs_lambda_gauge =
+        obs::gauge("trader.lambda");
+    obs::set(obs_lambda_gauge, lambda_);
+    static const double kLambdaEdges[] = {0.0,  0.01, 0.1, 0.5, 1.0,
+                                          2.0,  5.0,  10.0, 50.0, 100.0};
+    static const obs::MetricId obs_lambda_hist =
+        obs::histogram("trader.lambda_path", kLambdaEdges);
+    obs::observe(obs_lambda_hist, lambda_);
+    obs::trace_counter("trader.lambda", lambda_);
+  }
+#endif
   // Dual feasibility: lambda^{t+1} = [lambda^t + gamma1 g^t]^+ must stay
   // finite and nonnegative; the executed trade the dual sees must lie in
   // the liquidity box (the simulator's holdings clamp only shrinks sells).

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nn/gemm_kernels.h"
+#include "obs/telemetry.h"
 #include "util/cpu.h"
 
 namespace cea::nn {
@@ -217,6 +218,16 @@ void multiply_variant(Variant variant, const float* a, std::size_t lda,
         std::memset(c + i * ldc, 0, n * sizeof(float));
     return;
   }
+  // Kernel telemetry: FLOP count plus a per-call span, so achieved
+  // GFLOP/s over any profiled window is nn.gemm.flops / nn.gemm's summed
+  // duration (compare against the perf_nn kernel peak). One span per
+  // multiply — the call itself is micro- to millisecond scale.
+  CEA_SPAN("nn.gemm");
+  CEA_TELEM(static const obs::MetricId obs_flops =
+                obs::counter("nn.gemm.flops");
+            obs::add(obs_flops, 2.0 * static_cast<double>(m) *
+                                    static_cast<double>(n) *
+                                    static_cast<double>(k)););
   const KernelDesc kd = variant_desc(variant);
 
   // The tile grid is pure scheduling: K is never split and every tile has

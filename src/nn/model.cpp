@@ -11,16 +11,47 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
+#if defined(CEA_TELEMETRY)
+void Sequential::ensure_layer_metrics() {
+  if (fwd_metrics_.size() == layers_.size()) return;
+  fwd_metrics_.clear();
+  bwd_metrics_.clear();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const std::string suffix =
+        name_ + "." + std::to_string(i) + "." + layers_[i]->name();
+    const char* fwd_label = obs::intern("nn.fwd." + suffix);
+    const char* bwd_label = obs::intern("nn.bwd." + suffix);
+    fwd_metrics_.push_back({obs::duration_histogram(fwd_label), fwd_label});
+    bwd_metrics_.push_back({obs::duration_histogram(bwd_label), bwd_label});
+  }
+}
+#endif
+
 Tensor Sequential::forward(const Tensor& input) {
+#if defined(CEA_TELEMETRY)
+  ensure_layer_metrics();
+#endif
   Tensor activation = input;
-  for (auto& layer : layers_) activation = layer->forward(activation);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+#if defined(CEA_TELEMETRY)
+    const obs::ScopedSpan span(fwd_metrics_[i].id, fwd_metrics_[i].label);
+#endif
+    activation = layers_[i]->forward(activation);
+  }
   return activation;
 }
 
 void Sequential::backward(const Tensor& grad_logits) {
+#if defined(CEA_TELEMETRY)
+  ensure_layer_metrics();
+#endif
   Tensor grad = grad_logits;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    grad = (*it)->backward(grad);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+#if defined(CEA_TELEMETRY)
+    const obs::ScopedSpan span(bwd_metrics_[i].id, bwd_metrics_[i].label);
+#endif
+    grad = layers_[i]->backward(grad);
+  }
 }
 
 void Sequential::apply_gradients(float learning_rate) {

@@ -6,6 +6,7 @@
 
 #include "nn/layers.h"
 #include "nn/tensor.h"
+#include "obs/telemetry.h"
 
 namespace cea::nn {
 
@@ -64,6 +65,19 @@ class Sequential {
   std::size_t layer_count() const noexcept { return layers_.size(); }
 
  private:
+#if defined(CEA_TELEMETRY)
+  /// Per-layer duration histograms "nn.{fwd,bwd}.<model>.<i>.<layer>",
+  /// built lazily on the first forward/backward after the layer list
+  /// changes. Labels are interned so trace events can hold them by
+  /// pointer beyond the model's lifetime.
+  struct LayerMetric {
+    obs::MetricId id = obs::kInvalidMetric;
+    const char* label = nullptr;
+  };
+  void ensure_layer_metrics();
+  std::vector<LayerMetric> fwd_metrics_, bwd_metrics_;
+#endif
+
   std::string name_;
   std::vector<std::unique_ptr<Layer>> layers_;
 };

@@ -5,6 +5,7 @@
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/telemetry.h"
 
 namespace cea::nn {
 
@@ -44,10 +45,12 @@ std::vector<double> train_loop(Sequential& model, const Tensor& samples,
   std::vector<double> epoch_losses;
   epoch_losses.reserve(config.epochs);
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    CEA_SPAN("nn.train.epoch");
     const auto order = rng.permutation(num);
     double total_loss = 0.0;
     std::size_t batches = 0;
     for (std::size_t start = 0; start < num; start += config.batch_size) {
+      CEA_SPAN("nn.train.batch");
       const std::size_t count = std::min(config.batch_size, num - start);
       const std::span<const std::size_t> batch_indices(order.data() + start,
                                                        count);

@@ -1,0 +1,197 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace cea::obs {
+namespace {
+
+/// Doubles rendered with enough digits to round-trip, but without JSON-
+/// illegal tokens: non-finite values (possible in principle for gauge or
+/// counter deltas fed from computed quantities) degrade to null.
+void write_number(std::ostream& out, double value) {
+  if (!(value == value) ||
+      value == std::numeric_limits<double>::infinity() ||
+      value == -std::numeric_limits<double>::infinity()) {
+    out << "null";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out << buffer;
+}
+
+}  // namespace
+
+// Strict JSON number grammar (RFC 8259): -?(0|[1-9][0-9]*)(\.[0-9]+)?
+// ([eE][+-]?[0-9]+)?. Metadata values that match are emitted unquoted so
+// "threads": 4 and "wall_clock_sec": 3.2 come out as numbers.
+bool is_json_number(std::string_view text) {
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto digits = [&]() {
+    const std::size_t start = i;
+    while (i < n && text[i] >= '0' && text[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < n && text[i] == '-') ++i;
+  if (i >= n) return false;
+  if (text[i] == '0') {
+    ++i;
+  } else if (text[i] >= '1' && text[i] <= '9') {
+    digits();
+  } else {
+    return false;
+  }
+  if (i < n && text[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+    ++i;
+    if (i < n && (text[i] == '+' || text[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == n;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string profile_json(const Snapshot& snapshot, const Metadata& meta) {
+  std::ostringstream out;
+  out << "{\n  \"telemetry_compiled\": "
+      << (compiled_in() ? "true" : "false") << ",\n";
+
+  out << "  \"meta\": {";
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n    \"" << json_escape(meta[i].first) << "\": ";
+    if (is_json_number(meta[i].second)) {
+      out << meta[i].second;
+    } else {
+      out << "\"" << json_escape(meta[i].second) << "\"";
+    }
+  }
+  out << (meta.empty() ? "},\n" : "\n  },\n");
+
+  out << "  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n    \"" << json_escape(snapshot.counters[i].name) << "\": ";
+    write_number(out, snapshot.counters[i].value);
+  }
+  out << (snapshot.counters.empty() ? "},\n" : "\n  },\n");
+
+  out << "  \"gauges\": {";
+  bool first = true;
+  for (const GaugeValue& gauge : snapshot.gauges) {
+    if (!gauge.ever_set) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << json_escape(gauge.name) << "\": ";
+    write_number(out, gauge.value);
+  }
+  out << (first ? "},\n" : "\n  },\n");
+
+  out << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramValue& hist = snapshot.histograms[i];
+    if (i > 0) out << ",";
+    out << "\n    \"" << json_escape(hist.name) << "\": {\n";
+    out << "      \"count\": " << hist.count << ",\n      \"sum\": ";
+    write_number(out, hist.sum);
+    out << ",\n      \"min\": ";
+    write_number(out, hist.count > 0 ? hist.min : 0.0);
+    out << ",\n      \"max\": ";
+    write_number(out, hist.count > 0 ? hist.max : 0.0);
+    out << ",\n      \"buckets\": [";
+    // One {le, count} entry per finite edge plus the +inf overflow bucket;
+    // counts are per-bucket (not cumulative).
+    for (std::size_t b = 0; b < hist.bucket_counts.size(); ++b) {
+      if (b > 0) out << ", ";
+      out << "{\"le\": ";
+      if (b < hist.upper_edges.size()) {
+        write_number(out, hist.upper_edges[b]);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ", \"count\": " << hist.bucket_counts[b] << "}";
+    }
+    out << "]\n    }";
+  }
+  out << (snapshot.histograms.empty() ? "}\n" : "\n  }\n");
+  out << "}\n";
+  return out.str();
+}
+
+std::string chrome_trace_json(std::span<const TraceEvent> events) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"name\": \""
+        << json_escape(event.name != nullptr ? event.name : "?")
+        << "\", \"cat\": \"cea\", \"pid\": 1, \"tid\": " << event.tid
+        << ", \"ts\": ";
+    write_number(out, static_cast<double>(event.start_ns) / 1000.0);
+    if (event.is_counter) {
+      out << ", \"ph\": \"C\", \"args\": {\"value\": ";
+      write_number(out, event.value);
+      out << "}}";
+    } else {
+      out << ", \"ph\": \"X\", \"dur\": ";
+      write_number(out, static_cast<double>(event.dur_ns) / 1000.0);
+      out << ", \"args\": {}}";
+    }
+  }
+  out << (events.empty() ? "]}\n" : "\n]}\n");
+  return out.str();
+}
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool write_profile_json(const std::string& path, const Snapshot& snapshot,
+                        const Metadata& meta) {
+  return write_file(path, profile_json(snapshot, meta));
+}
+
+bool write_chrome_trace(const std::string& path,
+                        std::span<const TraceEvent> events) {
+  return write_file(path, chrome_trace_json(events));
+}
+
+}  // namespace cea::obs

@@ -1,0 +1,51 @@
+#pragma once
+
+// Exporters for the telemetry registry (obs/telemetry.h):
+//
+//  * JSON profile — machine-readable dump of every counter, gauge and
+//    histogram plus caller-supplied run metadata (git SHA, ISA level,
+//    thread count, ...); the benches land these under bench_out/.
+//  * Chrome trace-event JSON — the drained span/counter events in the
+//    format chrome://tracing and https://ui.perfetto.dev load directly
+//    ("X" complete events nested by timestamp per thread track, "C"
+//    counter events as value-over-time tracks).
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace cea::obs {
+
+/// Ordered key/value run metadata embedded verbatim in the JSON profile's
+/// "meta" object. Values matching the JSON number grammar are written as
+/// numbers ("threads": 4), everything else as JSON strings.
+using Metadata = std::vector<std::pair<std::string, std::string>>;
+
+/// Render a snapshot (plus metadata) as a JSON document.
+std::string profile_json(const Snapshot& snapshot, const Metadata& meta);
+
+/// Render trace events as a Chrome trace-event document. Timestamps are
+/// microseconds relative to the telemetry epoch; spans become "X" complete
+/// events, counter samples become "C" events with a "value" arg.
+std::string chrome_trace_json(std::span<const TraceEvent> events);
+
+/// Write helpers; return false (and leave a partial file at worst) on I/O
+/// failure. Parent directories must already exist.
+bool write_profile_json(const std::string& path, const Snapshot& snapshot,
+                        const Metadata& meta);
+bool write_chrome_trace(const std::string& path,
+                        std::span<const TraceEvent> events);
+
+/// Escape a string for inclusion inside a JSON string literal (quotes not
+/// included). Exposed for the bench harness's ad-hoc JSON writers.
+std::string json_escape(std::string_view text);
+
+/// True when `text` matches the strict JSON number grammar (RFC 8259), so
+/// a writer may emit it unquoted. Shared by the profile exporter and the
+/// bench harness's metadata writer.
+bool is_json_number(std::string_view text);
+
+}  // namespace cea::obs

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/telemetry.h"
 #include "opt/brent.h"
 #include "util/check.h"
 
@@ -89,7 +90,8 @@ void tsallis_probabilities_into(std::span<const double> cumulative_losses,
   bool newton_ok = false;
   double total = 0.0;   // mass at the lambda the p[] values were taken at
   bool p_current = false;
-  for (int iter = 0; iter < 100; ++iter) {
+  int iter = 0;
+  for (; iter < 100; ++iter) {
     double mass = 0.0, deriv = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const double r = 1.0 / (eta * (theta[i] + lambda));
@@ -130,8 +132,26 @@ void tsallis_probabilities_into(std::span<const double> cumulative_losses,
         lambda_lo, lambda_hi, 1e-14);
     if (root.converged) lambda = root.x;
     p_current = false;
+    CEA_TELEM(static const obs::MetricId obs_fallbacks =
+                  obs::counter("tsallis.brent_fallbacks");
+              obs::add(obs_fallbacks););
   }
   if (scaled_lambda_warm != nullptr) *scaled_lambda_warm = eta * lambda;
+#if defined(CEA_TELEMETRY)
+  if (obs::detail_enabled()) {
+    // Solver convergence telemetry: Newton iterations per solve (warm
+    // starts should keep this at 1-3) and how often the bracketed Brent
+    // fallback fires. Solves run per (edge, block, select) — frequent
+    // enough that recording is detail-gated.
+    static const double kIterEdges[] = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32,
+                                        48, 64, 100};
+    static const obs::MetricId obs_iters =
+        obs::histogram("tsallis.newton_iters", kIterEdges);
+    obs::observe(obs_iters, static_cast<double>(std::min(iter + 1, 100)));
+    static const obs::MetricId obs_solves = obs::counter("tsallis.solves");
+    obs::add(obs_solves);
+  }
+#endif
 
   if (!p_current) {
     total = 0.0;
@@ -143,6 +163,18 @@ void tsallis_probabilities_into(std::span<const double> cumulative_losses,
   }
   const double inv_total = 1.0 / total;
   for (auto& v : p) v *= inv_total;  // exact renormalization
+#if defined(CEA_TELEMETRY)
+  if (obs::detail_enabled()) {
+    // Pre-renormalization simplex residual |mass - 1|: how far the root
+    // finder was from the exact simplex before the final renormalization
+    // absorbed the error.
+    static const double kResidualEdges[] = {1e-16, 1e-14, 1e-12, 1e-10,
+                                            1e-8,  1e-6,  1e-4,  1e-2};
+    static const obs::MetricId obs_residual =
+        obs::histogram("tsallis.simplex_residual", kResidualEdges);
+    obs::observe(obs_residual, std::abs(total - 1.0));
+  }
+#endif
 
   // Audit invariants: the solver's residual mass before renormalization
   // must be near 1 (else the root-finder silently failed and the

@@ -186,10 +186,13 @@ std::string format_violations(const std::vector<audit::Violation>& violations,
 }
 
 int audit_exit_code(const char* context_name) {
+  const std::size_t dropped = audit::dropped_count();
   const auto violations = audit::drain();
-  if (violations.empty()) return 0;
-  std::fprintf(stderr, "%s: %zu audit violation(s) recorded:\n%s",
-               context_name, violations.size(),
+  if (violations.empty() && dropped == 0) return 0;
+  std::fprintf(stderr,
+               "%s: %zu audit violation(s) recorded (%zu dropped beyond the "
+               "collector cap):\n%s",
+               context_name, violations.size(), dropped,
                format_violations(violations).c_str());
   return 1;
 }

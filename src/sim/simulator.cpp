@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/telemetry.h"
 #include "util/check.h"
 
 namespace cea::sim {
@@ -146,9 +147,14 @@ RunResult Simulator::run_impl(
   util::ThreadPool* pool = per_sample ? nullptr : options_.pool;
 
   for (std::size_t t = 0; t < horizon; ++t) {
+    CEA_SPAN("sim.slot");
     const trading::TradeObservation quote{env_.prices().buy[t],
                                           env_.prices().sell[t]};
-    trading::TradeDecision trade = trader->decide(t, quote);
+    trading::TradeDecision trade;
+    {
+      CEA_SPAN_DETAIL("sim.trader.decide");
+      trade = trader->decide(t, quote);
+    }
     if (config.clamp_sales_to_holdings) {
       trade.sell = std::min(trade.sell,
                             std::max(0.0, allowance_balance + trade.buy));
@@ -159,14 +165,34 @@ RunResult Simulator::run_impl(
     const bool shifted =
         config.loss_shift_slot > 0 && t >= config.loss_shift_slot;
 
+#if defined(CEA_TELEMETRY)
+    // Per-edge phase split (bandit select+feedback vs sample draws) is
+    // too hot to time unconditionally — several clock reads per edge per
+    // slot — so it rides behind the detail switch the --telemetry
+    // harness flips on. Read once per slot, shared read-only with the
+    // pool workers. Timestamps never feed control flow.
+    const bool obs_detail = obs::detail_enabled();
+#endif
+
     // Per-edge work: model selection, batched loss sampling, bandit
     // feedback. Touches only state indexed by the edge (its policy, its
     // previous model, its partial slot), so it is safe to fan out.
     auto edge_task = [&](std::size_t i) {
       EdgePartial& part = partials[i];
       part = EdgePartial{};
+#if defined(CEA_TELEMETRY)
+      std::int64_t obs_t0 = obs_detail ? obs::now_ns() : 0;
+      double obs_bandit_ns = 0.0;
+#endif
       const std::size_t model =
           fixed_choices ? (*fixed_models)[i] : policies[i]->select(t);
+#if defined(CEA_TELEMETRY)
+      if (obs_detail) {
+        const std::int64_t now = obs::now_ns();
+        obs_bandit_ns += static_cast<double>(now - obs_t0);
+        obs_t0 = now;
+      }
+#endif
       const std::size_t loss_model = shifted ? shift_target[model] : model;
       // The initial download (previous_model == SIZE_MAX) costs transfer
       // energy but is not a "switch": the paper charges y_i^t u_i only when
@@ -211,12 +237,31 @@ RunResult Simulator::run_impl(
           draws > 0 ? static_cast<double>(batch.correct_count) /
                           static_cast<double>(draws)
                     : 0.0;
+#if defined(CEA_TELEMETRY)
+      if (obs_detail) {
+        static const obs::MetricId obs_draws = obs::counter("sim.draws");
+        obs::add(obs_draws, static_cast<double>(draws));
+        static const obs::MetricId obs_draw_hist =
+            obs::duration_histogram("sim.edge.draw");
+        const std::int64_t now = obs::now_ns();
+        obs::observe(obs_draw_hist, static_cast<double>(now - obs_t0));
+        obs_t0 = now;
+      }
+#endif
 
       // Bandit feedback: L_{i,J}^t + v_{i,J} (Insight 2).
       if (!fixed_choices) {
         policies[i]->feedback(
             t, model, mean_sampled_loss + comp_cost[i * num_models + model]);
       }
+#if defined(CEA_TELEMETRY)
+      if (obs_detail) {
+        static const obs::MetricId obs_bandit_hist =
+            obs::duration_histogram("sim.edge.bandit");
+        obs_bandit_ns += static_cast<double>(obs::now_ns() - obs_t0);
+        obs::observe(obs_bandit_hist, obs_bandit_ns);
+      }
+#endif
 
       // Objective (1) charges the expectation E[l_n] + v_{i,n}.
       part.inference_cost =
@@ -228,10 +273,13 @@ RunResult Simulator::run_impl(
       part.samples = static_cast<double>(samples);
     };
 
-    if (pool != nullptr) {
-      pool->parallel_for(num_edges, edge_task);
-    } else {
-      for (std::size_t i = 0; i < num_edges; ++i) edge_task(i);
+    {
+      CEA_SPAN_DETAIL("sim.edges");
+      if (pool != nullptr) {
+        pool->parallel_for(num_edges, edge_task);
+      } else {
+        for (std::size_t i = 0; i < num_edges; ++i) edge_task(i);
+      }
     }
 
     // Serial reduction in edge order: identical floating-point accumulation
@@ -239,15 +287,33 @@ RunResult Simulator::run_impl(
     double slot_energy_kwh = 0.0;
     double weighted_correct = 0.0;
     double slot_samples = 0.0;
-    for (std::size_t i = 0; i < num_edges; ++i) {
-      const EdgePartial& part = partials[i];
-      result.inference_cost[t] += part.inference_cost;
-      result.switching_cost[t] += part.switching_cost;
-      if (part.switched) ++result.total_switches;
-      ++result.selection_counts[i][part.model];
-      slot_energy_kwh += part.energy_kwh;
-      weighted_correct += part.weighted_correct;
-      slot_samples += part.samples;
+    {
+      CEA_SPAN_DETAIL("sim.reduce");
+#if defined(CEA_TELEMETRY)
+      double slot_switches = 0.0;
+#endif
+      for (std::size_t i = 0; i < num_edges; ++i) {
+        const EdgePartial& part = partials[i];
+        result.inference_cost[t] += part.inference_cost;
+        result.switching_cost[t] += part.switching_cost;
+        if (part.switched) {
+          ++result.total_switches;
+#if defined(CEA_TELEMETRY)
+          slot_switches += 1.0;
+#endif
+        }
+        ++result.selection_counts[i][part.model];
+        slot_energy_kwh += part.energy_kwh;
+        weighted_correct += part.weighted_correct;
+        slot_samples += part.samples;
+      }
+#if defined(CEA_TELEMETRY)
+      if (obs_detail) {
+        static const obs::MetricId obs_switches =
+            obs::counter("sim.switches");
+        obs::add(obs_switches, slot_switches);
+      }
+#endif
     }
 
     const double emission = config.emission_rate * slot_energy_kwh;
@@ -272,6 +338,7 @@ RunResult Simulator::run_impl(
 
 #if defined(CEA_AUDIT)
     {
+      CEA_SPAN_DETAIL("sim.audit");
       // Ledger identity: allowance_balance == R + sum_{s<=t}(z - w - e),
       // re-derived from the recorded series (tolerance covers the different
       // accumulation grouping).
@@ -311,7 +378,10 @@ RunResult Simulator::run_impl(
     }
 #endif
 
-    trader->feedback(t, emission, quote, trade);
+    {
+      CEA_SPAN_DETAIL("sim.trader.feedback");
+      trader->feedback(t, emission, quote, trade);
+    }
   }
   return result;
 }

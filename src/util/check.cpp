@@ -1,5 +1,6 @@
 #include "util/check.h"
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
 
@@ -11,31 +12,61 @@ std::mutex& collector_mutex() {
   return mutex;
 }
 
-std::vector<Violation>& collector() {
-  static std::vector<Violation> violations;
-  return violations;
+struct Collector {
+  std::vector<Violation> stored;
+  std::size_t dropped = 0;
+  std::size_t capacity = kDefaultCapacity;
+};
+
+Collector& collector() {
+  static Collector instance;
+  return instance;
 }
 
 }  // namespace
 
 void record(Violation violation) {
   const std::lock_guard<std::mutex> lock(collector_mutex());
-  collector().push_back(std::move(violation));
+  Collector& c = collector();
+  if (c.stored.size() >= c.capacity) {
+    ++c.dropped;
+    return;
+  }
+  c.stored.push_back(std::move(violation));
 }
 
 std::size_t violation_count() noexcept {
   const std::lock_guard<std::mutex> lock(collector_mutex());
-  return collector().size();
+  return collector().stored.size();
+}
+
+std::size_t dropped_count() noexcept {
+  const std::lock_guard<std::mutex> lock(collector_mutex());
+  return collector().dropped;
+}
+
+void set_capacity(std::size_t capacity) noexcept {
+  const std::lock_guard<std::mutex> lock(collector_mutex());
+  collector().capacity = std::max<std::size_t>(capacity, 1);
+}
+
+std::size_t capacity() noexcept {
+  const std::lock_guard<std::mutex> lock(collector_mutex());
+  return collector().capacity;
 }
 
 std::vector<Violation> drain() {
   const std::lock_guard<std::mutex> lock(collector_mutex());
-  return std::exchange(collector(), {});
+  Collector& c = collector();
+  c.dropped = 0;
+  return std::exchange(c.stored, {});
 }
 
 void clear() noexcept {
   const std::lock_guard<std::mutex> lock(collector_mutex());
-  collector().clear();
+  Collector& c = collector();
+  c.stored.clear();
+  c.dropped = 0;
 }
 
 }  // namespace cea::audit

@@ -33,18 +33,35 @@ constexpr bool enabled() noexcept {
 #endif
 }
 
+/// Default bound on stored violations (see set_capacity).
+inline constexpr std::size_t kDefaultCapacity = 4096;
+
 /// Append to the process-wide collector (mutex-guarded; contention only on
 /// an actual violation or when the reporter drains, never on the check
-/// fast path).
+/// fast path). Once the collector holds capacity() violations, further
+/// records are counted but not stored — a pathological run (one violation
+/// per slot per edge over a long horizon) reports a bounded sample plus an
+/// exact dropped count instead of growing without bound.
 void record(Violation violation);
 
-/// Number of violations currently held.
+/// Number of violations currently stored (<= capacity()).
 std::size_t violation_count() noexcept;
 
-/// Snapshot-and-clear the collector.
+/// Violations recorded but not stored since the last drain()/clear()
+/// because the collector was full.
+std::size_t dropped_count() noexcept;
+
+/// Bound on stored violations. Setting a smaller capacity than currently
+/// stored keeps the existing entries; it only affects future records.
+/// Zero is clamped to one. Test hook; defaults to kDefaultCapacity.
+void set_capacity(std::size_t capacity) noexcept;
+std::size_t capacity() noexcept;
+
+/// Snapshot-and-clear the collector (stored violations and the dropped
+/// count).
 std::vector<Violation> drain();
 
-/// Discard all recorded violations (test setup).
+/// Discard all recorded violations and the dropped count (test setup).
 void clear() noexcept;
 
 }  // namespace cea::audit

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/telemetry.h"
+
 namespace cea::util {
 namespace {
 
@@ -108,9 +110,27 @@ void ThreadPool::parallel_for(std::size_t n,
   if (n == 0) return;
   if (t_in_parallel_region || workers_.empty() || n == 1 ||
       max_concurrency == 1) {
+    CEA_TELEM(static const obs::MetricId obs_inline =
+                  obs::counter("pool.inline_jobs");
+              obs::add(obs_inline););
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+
+  // Job telemetry: one span per submitted job (submit -> all indices
+  // done, i.e. the caller-observed latency) plus the fan-out width. The
+  // pool has no task queue — indices are claimed from a shared counter —
+  // so job size is the queue-depth analog.
+  CEA_SPAN("pool.job");
+#if defined(CEA_TELEMETRY)
+  {
+    static const double kSizeEdges[] = {1,  2,   4,   8,    16,  32,
+                                        64, 128, 256, 1024, 4096};
+    static const obs::MetricId obs_size =
+        obs::histogram("pool.job_size", kSizeEdges);
+    obs::observe(obs_size, static_cast<double>(n));
+  }
+#endif
 
   std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   std::uint64_t epoch_tag;

@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/telemetry.h"
+
+namespace cea::obs {
+namespace {
+
+// ------------------------------------------------------------ tiny JSON
+//
+// A strict recursive-descent parser, just enough to prove the exporters
+// emit well-formed JSON and to inspect the event list. Throws on any
+// syntax error, which gtest reports as a test failure.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const { return object.at(key); }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing data");
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    JsonValue value;
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      value.type = JsonValue::Type::kString;
+      value.string = parse_string();
+      return value;
+    }
+    if (consume_literal("true")) {
+      value.type = JsonValue::Type::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (consume_literal("false")) {
+      value.type = JsonValue::Type::kBool;
+      return value;
+    }
+    if (consume_literal("null")) return value;
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      if (peek() != '"') throw std::runtime_error("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      value.object.emplace(std::move(key), parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return value;
+      if (next != ',') throw std::runtime_error("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return value;
+      if (next != ',') throw std::runtime_error("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            pos_ += 4;  // control characters only; drop them
+            break;
+          default: throw std::runtime_error("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) throw std::runtime_error("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) throw std::runtime_error("expected number");
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    value.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+class Tracing : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disable_tracing();
+    reset();
+  }
+  void TearDown() override {
+    disable_tracing();
+    drain_trace();
+    reset();
+  }
+};
+
+TEST_F(Tracing, ChromeTraceParsesAndSpansNest) {
+  if (!compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  enable_tracing();
+  {
+    CEA_SPAN("test.outer");
+    {
+      CEA_SPAN("test.inner");
+    }
+    {
+      CEA_SPAN("test.inner");
+    }
+  }
+  const auto events = drain_trace();
+  const std::string json = chrome_trace_json(events);
+  const JsonValue root = parse_json(json);
+
+  ASSERT_TRUE(root.has("traceEvents"));
+  const auto& list = root.at("traceEvents").array;
+  ASSERT_EQ(list.size(), 3u);
+
+  // Spans close inner-first, and drain_trace sorts by start time, so the
+  // outer span is first again in the export.
+  const JsonValue* outer = nullptr;
+  std::vector<const JsonValue*> inner;
+  for (const auto& event : list) {
+    EXPECT_EQ(event.at("ph").string, "X");
+    EXPECT_EQ(event.at("pid").number, 1.0);
+    if (event.at("name").string == "test.outer") outer = &event;
+    if (event.at("name").string == "test.inner") inner.push_back(&event);
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_EQ(inner.size(), 2u);
+
+  // Nesting: both inner spans lie within [outer.ts, outer.ts + outer.dur]
+  // on the same thread track — exactly how Perfetto decides stacking.
+  const double outer_begin = outer->at("ts").number;
+  const double outer_end = outer_begin + outer->at("dur").number;
+  double previous_end = outer_begin;
+  for (const JsonValue* span : inner) {
+    EXPECT_EQ(span->at("tid").number, outer->at("tid").number);
+    const double begin = span->at("ts").number;
+    const double end = begin + span->at("dur").number;
+    EXPECT_GE(begin, outer_begin);
+    EXPECT_LE(end, outer_end);
+    // Siblings must not overlap (they were sequential scopes).
+    EXPECT_GE(begin, previous_end);
+    previous_end = end;
+  }
+}
+
+TEST_F(Tracing, CounterEventsCarryValues) {
+  if (!compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  enable_tracing();
+  trace_counter("test.lambda", 1.5);
+  trace_counter("test.lambda", 2.5);
+  const auto events = drain_trace();
+  const JsonValue root = parse_json(chrome_trace_json(events));
+  const auto& list = root.at("traceEvents").array;
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].at("ph").string, "C");
+  EXPECT_DOUBLE_EQ(list[0].at("args").at("value").number, 1.5);
+  EXPECT_DOUBLE_EQ(list[1].at("args").at("value").number, 2.5);
+  EXPECT_LE(list[0].at("ts").number, list[1].at("ts").number);
+}
+
+TEST_F(Tracing, RingBufferBoundsEventsAndCountsDrops) {
+  if (!compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  enable_tracing(/*capacity_per_thread=*/16);
+  for (int i = 0; i < 40; ++i) trace_counter("test.ring", i);
+  EXPECT_EQ(trace_dropped(), 24u);
+  const auto events = drain_trace();
+  ASSERT_EQ(events.size(), 16u);
+  // Oldest events were overwritten: the survivors are the last 16 pushes.
+  EXPECT_DOUBLE_EQ(events.front().value, 24.0);
+  EXPECT_DOUBLE_EQ(events.back().value, 39.0);
+}
+
+TEST_F(Tracing, DisabledTracingRecordsNothing) {
+  trace_counter("test.off", 1.0);
+  {
+    CEA_SPAN("test.off.span");
+  }
+  EXPECT_TRUE(drain_trace().empty());
+  EXPECT_EQ(trace_dropped(), 0u);
+}
+
+TEST_F(Tracing, ProfileJsonParsesWithMetaCountersAndHistograms) {
+  Metadata meta = {{"git_sha", "abc123"},
+                   {"isa", "avx2"},
+                   {"threads", "4"},
+                   {"wall_clock_sec", "3.25"}};
+  if (compiled_in()) {
+    add(counter("test.profile.counter"), 3.0);
+    set(gauge("test.profile.gauge"), 0.25);
+    const double edges[] = {1.0, 2.0};
+    const MetricId h = histogram("test.profile.hist", edges);
+    observe(h, 0.5);
+    observe(h, 1.5);
+    observe(h, 9.0);
+  }
+  const JsonValue root = parse_json(profile_json(snapshot(), meta));
+
+  EXPECT_EQ(root.at("telemetry_compiled").boolean, compiled_in());
+  EXPECT_EQ(root.at("meta").at("git_sha").string, "abc123");
+  EXPECT_EQ(root.at("meta").at("isa").string, "avx2");
+  // Numeric-looking metadata values come out as JSON numbers, not strings.
+  EXPECT_EQ(root.at("meta").at("threads").type, JsonValue::Type::kNumber);
+  EXPECT_EQ(root.at("meta").at("threads").number, 4.0);
+  EXPECT_EQ(root.at("meta").at("wall_clock_sec").number, 3.25);
+  if (!compiled_in()) {
+    EXPECT_TRUE(root.at("counters").object.empty());
+    return;
+  }
+  EXPECT_DOUBLE_EQ(root.at("counters").at("test.profile.counter").number, 3.0);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("test.profile.gauge").number, 0.25);
+  const auto& hist = root.at("histograms").at("test.profile.hist");
+  EXPECT_DOUBLE_EQ(hist.at("count").number, 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number, 11.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").number, 0.5);
+  EXPECT_DOUBLE_EQ(hist.at("max").number, 9.0);
+  const auto& buckets = hist.at("buckets").array;
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].at("le").number, 1.0);
+  EXPECT_DOUBLE_EQ(buckets[0].at("count").number, 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1].at("count").number, 1.0);
+  EXPECT_EQ(buckets[2].at("le").string, "inf");  // overflow bucket
+  EXPECT_DOUBLE_EQ(buckets[2].at("count").number, 1.0);
+}
+
+TEST_F(Tracing, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  const JsonValue parsed =
+      parse_json("\"" + json_escape("quote\" back\\ tab\t") + "\"");
+  EXPECT_EQ(parsed.string, "quote\" back\\ tab\t");
+}
+
+}  // namespace
+}  // namespace cea::obs

@@ -5,11 +5,18 @@
 namespace cea::audit {
 namespace {
 
-// The collector is process-global; every test starts from a clean slate.
+// The collector is process-global; every test starts from a clean slate
+// with the default capacity.
 class CheckCollector : public ::testing::Test {
  protected:
-  void SetUp() override { clear(); }
-  void TearDown() override { clear(); }
+  void SetUp() override {
+    set_capacity(kDefaultCapacity);
+    clear();
+  }
+  void TearDown() override {
+    set_capacity(kDefaultCapacity);
+    clear();
+  }
 };
 
 TEST_F(CheckCollector, StartsEmpty) {
@@ -78,6 +85,62 @@ TEST_F(CheckCollector, MacroMatchesBuildConfiguration) {
 TEST_F(CheckCollector, MacroPassingConditionRecordsNothing) {
   CEA_CHECK(true, "test.pass", 0, 0, 0.0, "never");
   EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST_F(CheckCollector, CapBoundsStorageAndCountsDrops) {
+  set_capacity(3);
+  EXPECT_EQ(capacity(), 3u);
+  for (int i = 0; i < 5; ++i)
+    record({"site.cap", "violation " + std::to_string(i)});
+  // The first capacity() records are kept; the rest are counted, not stored.
+  EXPECT_EQ(violation_count(), 3u);
+  EXPECT_EQ(dropped_count(), 2u);
+  const auto violations = drain();
+  ASSERT_EQ(violations.size(), 3u);
+  EXPECT_EQ(violations[0].message, "violation 0");
+  EXPECT_EQ(violations[2].message, "violation 2");
+}
+
+TEST_F(CheckCollector, DrainResetsDroppedCount) {
+  set_capacity(1);
+  record({"site.a", "kept"});
+  record({"site.a", "dropped"});
+  EXPECT_EQ(dropped_count(), 1u);
+  drain();
+  EXPECT_EQ(dropped_count(), 0u);
+  // After the drain the collector has room again.
+  record({"site.a", "kept again"});
+  EXPECT_EQ(violation_count(), 1u);
+  EXPECT_EQ(dropped_count(), 0u);
+}
+
+TEST_F(CheckCollector, ClearResetsDroppedCount) {
+  set_capacity(1);
+  record({"site.a", "kept"});
+  record({"site.a", "dropped"});
+  clear();
+  EXPECT_EQ(violation_count(), 0u);
+  EXPECT_EQ(dropped_count(), 0u);
+}
+
+TEST_F(CheckCollector, ZeroCapacityClampsToOne) {
+  set_capacity(0);
+  EXPECT_EQ(capacity(), 1u);
+  record({"site.a", "kept"});
+  record({"site.a", "dropped"});
+  EXPECT_EQ(violation_count(), 1u);
+  EXPECT_EQ(dropped_count(), 1u);
+}
+
+TEST_F(CheckCollector, ShrinkingCapacityKeepsStoredEntries) {
+  record({"site.a", "one"});
+  record({"site.a", "two"});
+  set_capacity(1);
+  // Existing entries survive; only future records are refused.
+  EXPECT_EQ(violation_count(), 2u);
+  record({"site.a", "three"});
+  EXPECT_EQ(violation_count(), 2u);
+  EXPECT_EQ(dropped_count(), 1u);
 }
 
 }  // namespace
