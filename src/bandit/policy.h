@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,45 @@ class ModelSelectionPolicy {
 /// Factory so experiments can instantiate one policy per edge.
 using PolicyFactory =
     std::function<std::unique_ptr<ModelSelectionPolicy>(const PolicyContext&)>;
+
+/// One pending Tsallis-INF OMD solve, described by the arguments the
+/// policy would pass to tsallis_probabilities_into. The span aliases
+/// policy-owned storage and stays valid until the policy is next mutated.
+struct TsallisSolveRequest {
+  std::span<const double> cumulative_losses;
+  double eta = 0.0;
+  double scaled_lambda_warm = 0.0;
+};
+
+/// Opt-in side interface for policies whose next select(t) may run a
+/// Tsallis-INF OMD solve that is already fully determined at the start of
+/// the slot — i.e. before any edge's select/feedback of that slot runs.
+/// The simulator probes every policy for this interface and, when its
+/// cross_edge_batch_solve option is on, gathers all pending solves into
+/// one TsallisBatchSolver call (SIMD lanes across edges) before the edge
+/// fan-out. The batch solver is bit-identical to the scalar path, so a
+/// policy sees exactly the probabilities and warm-start it would have
+/// computed itself.
+///
+/// Only implement this when the solve's inputs are frozen at slot start:
+/// per-edge state written by the edge's own feedback qualifies; state
+/// shared across edges and mutated mid-slot (the pooled-learning
+/// extension's table) does not.
+class TsallisBatchSolvable {
+ public:
+  virtual ~TsallisBatchSolvable() = default;
+
+  /// If the next select() will solve an OMD step, describe it and return
+  /// true; return false when no solve is due (mid-block slots).
+  virtual bool next_solve(TsallisSolveRequest& out) = 0;
+
+  /// Deliver the batch solver's result for the request next_solve
+  /// described: the normalized probabilities and the refreshed scaled
+  /// root eta*lambda. The next select() must consume these instead of
+  /// re-solving.
+  virtual void accept_presolve(std::span<const double> probabilities,
+                               double scaled_lambda_warm) = 0;
+};
 
 /// Tracks per-arm empirical means; shared by several baselines.
 class ArmStats {

@@ -16,9 +16,28 @@ TsallisInfPolicy::TsallisInfPolicy(const PolicyContext& context)
 }
 
 std::size_t TsallisInfPolicy::select(std::size_t /*t*/) {
-  const double eta = 2.0 / std::sqrt(static_cast<double>(plays_ + 1));
-  probabilities_ = tsallis_probabilities(cumulative_losses_, eta);
+  if (presolved_) {
+    presolved_ = false;
+  } else {
+    const double eta = 2.0 / std::sqrt(static_cast<double>(plays_ + 1));
+    tsallis_probabilities_into(cumulative_losses_, eta, probabilities_,
+                               solver_scratch_);
+  }
   return rng_.categorical(probabilities_);
+}
+
+bool TsallisInfPolicy::next_solve(TsallisSolveRequest& out) {
+  if (presolved_) return false;
+  out.cumulative_losses = cumulative_losses_;
+  out.eta = 2.0 / std::sqrt(static_cast<double>(plays_ + 1));
+  out.scaled_lambda_warm = 0.0;  // the per-slot solve never warm-starts
+  return true;
+}
+
+void TsallisInfPolicy::accept_presolve(std::span<const double> probabilities,
+                                       double /*scaled_lambda_warm*/) {
+  probabilities_.assign(probabilities.begin(), probabilities.end());
+  presolved_ = true;
 }
 
 void TsallisInfPolicy::feedback(std::size_t /*t*/, std::size_t arm,

@@ -12,7 +12,8 @@ namespace cea::bandit {
 /// rate eta_t = 2 / sqrt(t), then samples an arm; importance-weighted loss
 /// estimates accumulate per slot. Optimal in plain stochastic/adversarial
 /// bandits, but free to switch arms every slot.
-class TsallisInfPolicy final : public ModelSelectionPolicy {
+class TsallisInfPolicy final : public ModelSelectionPolicy,
+                               public TsallisBatchSolvable {
  public:
   explicit TsallisInfPolicy(const PolicyContext& context);
 
@@ -20,13 +21,24 @@ class TsallisInfPolicy final : public ModelSelectionPolicy {
   void feedback(std::size_t t, std::size_t arm, double loss) override;
   std::string name() const override { return "TsallisINF"; }
 
+  /// Cross-edge batch solving: TINF re-solves every slot, and the solve's
+  /// inputs (per-edge loss table, play count) are frozen by the edge's
+  /// own previous feedback — so every slot every edge has a pending solve
+  /// and the batch path does the most work here. No warm-start is used
+  /// (matching the historical per-slot solve exactly).
+  bool next_solve(TsallisSolveRequest& out) override;
+  void accept_presolve(std::span<const double> probabilities,
+                       double scaled_lambda_warm) override;
+
   static PolicyFactory factory();
 
  private:
   std::vector<double> cumulative_losses_;
   std::vector<double> probabilities_;
+  std::vector<double> solver_scratch_;
   Rng rng_;
   std::size_t plays_ = 0;
+  bool presolved_ = false;
 };
 
 }  // namespace cea::bandit

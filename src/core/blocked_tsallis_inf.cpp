@@ -30,8 +30,14 @@ BlockedTsallisInfPolicy::BlockedTsallisInfPolicy(
 
 void BlockedTsallisInfPolicy::start_block() {
   const std::size_t k = block_index_ + 1;  // 1-based block index
-  tsallis_probabilities_into(cumulative_losses_, schedule_.learning_rate(k),
-                             probabilities_, solver_scratch_, &solver_warm_);
+  if (presolved_) {
+    // The simulator's cross-edge batch pass already solved this block's
+    // OMD step (bit-identical to the call below) into probabilities_.
+    presolved_ = false;
+  } else {
+    tsallis_probabilities_into(cumulative_losses_, schedule_.learning_rate(k),
+                               probabilities_, solver_scratch_, &solver_warm_);
+  }
   current_arm_ = rng_.categorical(probabilities_);
   CEA_CHECK(current_arm_ < probabilities_.size(), "blocked_tsallis.arm_index",
             edge_, audit::kNoIndex, static_cast<double>(current_arm_),
@@ -105,6 +111,25 @@ void BlockedTsallisInfPolicy::feedback(std::size_t /*t*/, std::size_t arm,
   block_loss_ += loss;
   // Truncated final block: fold the estimate in as soon as the block ends.
   if (slots_left_ == 0 && block_open_) finish_block();
+}
+
+bool BlockedTsallisInfPolicy::next_solve(bandit::TsallisSolveRequest& out) {
+  // A solve is due iff the next select() will call start_block(): the
+  // open block was closed by this edge's own feedback (or none started
+  // yet) and has no slots left. All solve inputs are frozen until then.
+  if (slots_left_ != 0 || block_open_ || presolved_) return false;
+  out.cumulative_losses = cumulative_losses_;
+  out.eta = schedule_.learning_rate(block_index_ + 1);
+  out.scaled_lambda_warm = solver_warm_;
+  return true;
+}
+
+void BlockedTsallisInfPolicy::accept_presolve(
+    std::span<const double> probabilities, double scaled_lambda_warm) {
+  assert(probabilities.size() == cumulative_losses_.size());
+  probabilities_.assign(probabilities.begin(), probabilities.end());
+  solver_warm_ = scaled_lambda_warm;
+  presolved_ = true;
 }
 
 bandit::PolicyFactory BlockedTsallisInfPolicy::factory() {

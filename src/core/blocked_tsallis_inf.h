@@ -23,7 +23,8 @@ namespace cea::core {
 ///
 /// Theorem 1: regret plus cumulative switching cost is
 /// O((u_i N)^{2/3} T^{1/3} + u_i^2 + ln T) * sum_{n != n*} 1/Delta_{i,n}.
-class BlockedTsallisInfPolicy final : public bandit::ModelSelectionPolicy {
+class BlockedTsallisInfPolicy final : public bandit::ModelSelectionPolicy,
+                                      public bandit::TsallisBatchSolvable {
  public:
   explicit BlockedTsallisInfPolicy(const bandit::PolicyContext& context);
 
@@ -38,6 +39,15 @@ class BlockedTsallisInfPolicy final : public bandit::ModelSelectionPolicy {
   std::size_t select(std::size_t t) override;
   void feedback(std::size_t t, std::size_t arm, double loss) override;
   std::string name() const override { return "BlockedTsallisINF"; }
+
+  /// Cross-edge batch solving (bandit::TsallisBatchSolvable): a solve is
+  /// due exactly when the previous block is closed and exhausted, and its
+  /// inputs (Chat table, learning rate of block k, warm root) are frozen
+  /// by the edge's own last feedback — so the simulator may solve it
+  /// before the slot's edge fan-out.
+  bool next_solve(bandit::TsallisSolveRequest& out) override;
+  void accept_presolve(std::span<const double> probabilities,
+                       double scaled_lambda_warm) override;
 
   static bandit::PolicyFactory factory();
 
@@ -66,6 +76,7 @@ class BlockedTsallisInfPolicy final : public bandit::ModelSelectionPolicy {
   std::vector<double> probabilities_;      // p_{i,k,n}
   std::vector<double> solver_scratch_;     // reused across block solves
   double solver_warm_ = 0.0;               // scaled root of the last solve
+  bool presolved_ = false;                 // probabilities_ already solved
   std::size_t block_index_ = 0;            // completed blocks (k-1)
   std::size_t current_arm_ = 0;            // J_{i,k}
   std::size_t slots_left_ = 0;             // remaining slots in the block

@@ -73,7 +73,10 @@ trading::TradeDecision MpcCarbonTrader::decide(
     problem.constraints.push_back(std::move(con));
   }
 
-  const LpSolution solution = solve_lp(problem, 20000);
+  // One LP per slot per run: reuse a per-thread arena-backed solver so the
+  // rolling-horizon solves stop allocating once the window shape is warm.
+  thread_local LpSolver lp_solver;
+  const LpSolution solution = lp_solver.solve(problem, 20000);
   trading::TradeDecision decision;
   if (solution.status == LpStatus::kOptimal) {
     decision.buy = trading::clamp_trade(solution.x[0], context_);

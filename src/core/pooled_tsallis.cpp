@@ -34,9 +34,15 @@ PooledTsallisPolicy::PooledTsallisPolicy(
 }
 
 void PooledTsallisPolicy::start_block() {
+  // Deliberately NOT bandit::TsallisBatchSolvable: the shared table this
+  // solve reads is written by earlier edges' finish_block within the
+  // same slot (edge i's block can close in its slot-t feedback, before
+  // edge i+1's slot-t select), so a slot-start snapshot would change the
+  // probabilities. The per-edge policies have no such intra-slot coupling.
   const std::size_t k = block_index_ + 1;
-  probabilities_ = tsallis_probabilities(coordinator_->cumulative_losses(),
-                                         schedule_.learning_rate(k));
+  tsallis_probabilities_into(coordinator_->cumulative_losses(),
+                             schedule_.learning_rate(k), probabilities_,
+                             solver_scratch_);
   current_arm_ = rng_.categorical(probabilities_);
   slots_left_ = schedule_.block_length(k);
   block_loss_ = 0.0;

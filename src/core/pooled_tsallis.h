@@ -67,6 +67,7 @@ class PooledTsallisPolicy final : public bandit::ModelSelectionPolicy {
   BlockSchedule schedule_;
   Rng rng_;
   std::vector<double> probabilities_;
+  std::vector<double> solver_scratch_;  // reused across block solves
   std::size_t block_index_ = 0;
   std::size_t current_arm_ = 0;
   std::size_t slots_left_ = 0;

@@ -4,79 +4,81 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/telemetry.h"
+
 namespace cea {
 namespace {
 
 constexpr double kEps = 1e-9;
 
-/// Dense simplex tableau. Rows: one per constraint plus the objective row
-/// (last). Columns: structural vars, slack/surplus vars, artificial vars,
-/// and the rhs (last).
+/// Effective relation of a constraint after normalizing its rhs >= 0 (a
+/// negative rhs flips the row sign, which mirrors <= and >=).
+Relation effective_relation(const LpConstraint& con) noexcept {
+  if (con.rhs < 0.0) {
+    if (con.relation == Relation::kLessEqual) return Relation::kGreaterEqual;
+    if (con.relation == Relation::kGreaterEqual) return Relation::kLessEqual;
+  }
+  return con.relation;
+}
+
+/// Dense simplex tableau over caller-owned arena storage. Rows: one per
+/// constraint plus the objective row (last). Columns: structural vars,
+/// slack/surplus vars, artificial vars, and the rhs (last). The tableau is
+/// one contiguous row-major block — pivoting walks flat memory and never
+/// allocates.
 class Tableau {
  public:
-  Tableau(const LpProblem& problem) {
+  Tableau(const LpProblem& problem, util::Arena& arena) {
     const std::size_t n = problem.num_variables();
     const std::size_t m = problem.constraints.size();
     num_structural_ = n;
     num_rows_ = m;
 
-    // Count slack/surplus and artificial columns; normalize rhs >= 0.
-    std::vector<double> rhs(m);
-    std::vector<Relation> rel(m);
-    std::vector<std::vector<double>> rows(m, std::vector<double>(n, 0.0));
-    for (std::size_t r = 0; r < m; ++r) {
-      const auto& con = problem.constraints[r];
-      assert(con.coeffs.size() == n);
-      double sign = con.rhs < 0.0 ? -1.0 : 1.0;
-      rhs[r] = sign * con.rhs;
-      rel[r] = con.relation;
-      if (sign < 0.0) {
-        if (con.relation == Relation::kLessEqual)
-          rel[r] = Relation::kGreaterEqual;
-        else if (con.relation == Relation::kGreaterEqual)
-          rel[r] = Relation::kLessEqual;
-      }
-      for (std::size_t c = 0; c < n; ++c) rows[r][c] = sign * con.coeffs[c];
-    }
-
     std::size_t slack_count = 0;
     std::size_t artificial_count = 0;
-    for (std::size_t r = 0; r < m; ++r) {
-      if (rel[r] != Relation::kEqual) ++slack_count;
-      if (rel[r] != Relation::kLessEqual) ++artificial_count;
+    for (const auto& con : problem.constraints) {
+      const Relation rel = effective_relation(con);
+      if (rel != Relation::kEqual) ++slack_count;
+      if (rel != Relation::kLessEqual) ++artificial_count;
     }
     num_slack_ = slack_count;
     num_artificial_ = artificial_count;
-    const std::size_t cols = n + slack_count + artificial_count + 1;
-    a_.assign(m + 1, std::vector<double>(cols, 0.0));
-    basis_.assign(m, 0);
+    cols_ = n + slack_count + artificial_count + 1;
+
+    a_ = arena.alloc_array<double>((m + 1) * cols_);
+    basis_ = arena.alloc_array<std::size_t>(m);
+    for (std::size_t i = 0; i < (m + 1) * cols_; ++i) a_[i] = 0.0;
 
     std::size_t next_slack = n;
     std::size_t next_artificial = n + slack_count;
     for (std::size_t r = 0; r < m; ++r) {
-      for (std::size_t c = 0; c < n; ++c) a_[r][c] = rows[r][c];
-      a_[r][cols - 1] = rhs[r];
-      switch (rel[r]) {
+      const auto& con = problem.constraints[r];
+      assert(con.coeffs.size() == n);
+      const double sign = con.rhs < 0.0 ? -1.0 : 1.0;
+      double* row = a_ + r * cols_;
+      for (std::size_t c = 0; c < n; ++c) row[c] = sign * con.coeffs[c];
+      row[cols_ - 1] = sign * con.rhs;
+      switch (effective_relation(con)) {
         case Relation::kLessEqual:
-          a_[r][next_slack] = 1.0;
+          row[next_slack] = 1.0;
           basis_[r] = next_slack++;
           break;
         case Relation::kGreaterEqual:
-          a_[r][next_slack] = -1.0;
+          row[next_slack] = -1.0;
           ++next_slack;
-          a_[r][next_artificial] = 1.0;
+          row[next_artificial] = 1.0;
           basis_[r] = next_artificial++;
           break;
         case Relation::kEqual:
-          a_[r][next_artificial] = 1.0;
+          row[next_artificial] = 1.0;
           basis_[r] = next_artificial++;
           break;
       }
     }
   }
 
-  std::size_t cols() const noexcept { return a_[0].size(); }
-  std::size_t rhs_col() const noexcept { return cols() - 1; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t rhs_col() const noexcept { return cols_ - 1; }
   std::size_t artificial_begin() const noexcept {
     return num_structural_ + num_slack_;
   }
@@ -84,28 +86,30 @@ class Tableau {
   /// Load the phase-1 objective (minimize sum of artificials) into the
   /// objective row and price out basic artificials.
   void load_phase1_objective() {
-    auto& obj = a_[num_rows_];
-    std::fill(obj.begin(), obj.end(), 0.0);
+    double* obj = a_ + num_rows_ * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) obj[c] = 0.0;
     for (std::size_t c = artificial_begin(); c < rhs_col(); ++c) obj[c] = 1.0;
     for (std::size_t r = 0; r < num_rows_; ++r) {
       if (basis_[r] >= artificial_begin()) {
-        for (std::size_t c = 0; c < cols(); ++c) obj[c] -= a_[r][c];
+        const double* row = a_ + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) obj[c] -= row[c];
       }
     }
   }
 
   /// Load the phase-2 objective (minimize c.x) and price out basic columns.
-  /// Artificial columns are frozen by a large positive reduced cost.
-  void load_phase2_objective(const std::vector<double>& minimize_costs) {
-    auto& obj = a_[num_rows_];
-    std::fill(obj.begin(), obj.end(), 0.0);
+  /// Artificial columns are frozen by never being allowed to enter.
+  void load_phase2_objective(const double* minimize_costs) {
+    double* obj = a_ + num_rows_ * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) obj[c] = 0.0;
     for (std::size_t c = 0; c < num_structural_; ++c)
       obj[c] = minimize_costs[c];
     for (std::size_t r = 0; r < num_rows_; ++r) {
       const std::size_t b = basis_[r];
       const double cost = b < num_structural_ ? minimize_costs[b] : 0.0;
       if (cost != 0.0) {
-        for (std::size_t c = 0; c < cols(); ++c) obj[c] -= cost * a_[r][c];
+        const double* row = a_ + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) obj[c] -= cost * row[c];
       }
     }
   }
@@ -116,7 +120,7 @@ class Tableau {
                    int& iterations_used) {
     const std::size_t limit =
         allow_artificial ? rhs_col() : artificial_begin();
-    auto& obj = a_[num_rows_];
+    const double* obj = a_ + num_rows_ * cols_;
     for (int iter = 0; iter < max_iterations; ++iter) {
       // Bland: entering column = smallest index with negative reduced cost.
       std::size_t pivot_col = limit;
@@ -134,8 +138,9 @@ class Tableau {
       std::size_t pivot_row = num_rows_;
       double best_ratio = std::numeric_limits<double>::infinity();
       for (std::size_t r = 0; r < num_rows_; ++r) {
-        if (a_[r][pivot_col] > kEps) {
-          const double ratio = a_[r][rhs_col()] / a_[r][pivot_col];
+        const double* row = a_ + r * cols_;
+        if (row[pivot_col] > kEps) {
+          const double ratio = row[rhs_col()] / row[pivot_col];
           if (ratio < best_ratio - kEps ||
               (ratio < best_ratio + kEps &&
                (pivot_row == num_rows_ || basis_[r] < basis_[pivot_row]))) {
@@ -155,7 +160,7 @@ class Tableau {
   }
 
   double objective_row_value() const noexcept {
-    return -a_[num_rows_][rhs_col()];
+    return -a_[num_rows_ * cols_ + rhs_col()];
   }
 
   /// Try to pivot basic artificial variables out after phase 1. Rows whose
@@ -163,9 +168,10 @@ class Tableau {
   void drive_out_artificials() {
     for (std::size_t r = 0; r < num_rows_; ++r) {
       if (basis_[r] < artificial_begin()) continue;
-      if (std::abs(a_[r][rhs_col()]) > kEps) continue;  // should not happen
+      const double* row = a_ + r * cols_;
+      if (std::abs(row[rhs_col()]) > kEps) continue;  // should not happen
       for (std::size_t c = 0; c < artificial_begin(); ++c) {
-        if (std::abs(a_[r][c]) > kEps) {
+        if (std::abs(row[c]) > kEps) {
           pivot(r, c);
           break;
         }
@@ -173,32 +179,33 @@ class Tableau {
     }
   }
 
-  std::vector<double> extract_solution() const {
-    std::vector<double> x(num_structural_, 0.0);
+  void extract_solution(std::vector<double>& x) const {
+    x.assign(num_structural_, 0.0);
     for (std::size_t r = 0; r < num_rows_; ++r) {
-      if (basis_[r] < num_structural_) x[basis_[r]] = a_[r][rhs_col()];
+      if (basis_[r] < num_structural_) x[basis_[r]] = a_[r * cols_ + rhs_col()];
     }
-    return x;
   }
 
  private:
   void pivot(std::size_t pivot_row, std::size_t pivot_col) {
-    auto& prow = a_[pivot_row];
+    double* prow = a_ + pivot_row * cols_;
     const double inv = 1.0 / prow[pivot_col];
-    for (auto& v : prow) v *= inv;
+    for (std::size_t c = 0; c < cols_; ++c) prow[c] *= inv;
     prow[pivot_col] = 1.0;  // kill round-off
     for (std::size_t r = 0; r <= num_rows_; ++r) {
       if (r == pivot_row) continue;
-      const double factor = a_[r][pivot_col];
+      double* row = a_ + r * cols_;
+      const double factor = row[pivot_col];
       if (factor == 0.0) continue;
-      for (std::size_t c = 0; c < cols(); ++c) a_[r][c] -= factor * prow[c];
-      a_[r][pivot_col] = 0.0;
+      for (std::size_t c = 0; c < cols_; ++c) row[c] -= factor * prow[c];
+      row[pivot_col] = 0.0;
     }
     basis_[pivot_row] = pivot_col;
   }
 
-  std::vector<std::vector<double>> a_;
-  std::vector<std::size_t> basis_;
+  double* a_ = nullptr;
+  std::size_t* basis_ = nullptr;
+  std::size_t cols_ = 0;
   std::size_t num_structural_ = 0;
   std::size_t num_slack_ = 0;
   std::size_t num_artificial_ = 0;
@@ -217,7 +224,18 @@ std::string to_string(LpStatus status) {
   return "unknown";
 }
 
-LpSolution solve_lp(const LpProblem& problem, int max_iterations) {
+std::size_t LpSolver::required_bytes(std::size_t num_variables,
+                                     std::size_t num_constraints) noexcept {
+  // Worst case: every row contributes one slack and one artificial column.
+  const std::size_t cols = num_variables + 2 * num_constraints + 1;
+  return (num_constraints + 1) * cols * sizeof(double)   // tableau
+         + num_constraints * sizeof(std::size_t)          // basis
+         + num_variables * sizeof(double)                 // minimize costs
+         + 64;                                            // alignment slack
+}
+
+LpSolution LpSolver::solve(const LpProblem& problem, int max_iterations) {
+  CEA_SPAN("opt.simplex.solve");
   LpSolution solution;
   const std::size_t n = problem.num_variables();
   if (n == 0) {
@@ -230,7 +248,9 @@ LpSolution solve_lp(const LpProblem& problem, int max_iterations) {
     (void)con;
   }
 
-  Tableau tableau(problem);
+  arena_.reset();
+  arena_.reserve(required_bytes(n, problem.constraints.size()));
+  Tableau tableau(problem, arena_);
 
   // Phase 1: find a basic feasible solution.
   tableau.load_phase1_objective();
@@ -248,9 +268,10 @@ LpSolution solve_lp(const LpProblem& problem, int max_iterations) {
   tableau.drive_out_artificials();
 
   // Phase 2: optimize the real objective (internally always minimize).
-  std::vector<double> minimize_costs = problem.objective;
-  if (problem.maximize) {
-    for (auto& c : minimize_costs) c = -c;
+  double* minimize_costs = arena_.alloc_array<double>(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    minimize_costs[c] =
+        problem.maximize ? -problem.objective[c] : problem.objective[c];
   }
   tableau.load_phase2_objective(minimize_costs);
   status = tableau.iterate(max_iterations, /*allow_artificial=*/false,
@@ -261,12 +282,23 @@ LpSolution solve_lp(const LpProblem& problem, int max_iterations) {
   }
 
   solution.status = LpStatus::kOptimal;
-  solution.x = tableau.extract_solution();
+  tableau.extract_solution(solution.x);
   double value = 0.0;
   for (std::size_t c = 0; c < n; ++c)
     value += problem.objective[c] * solution.x[c];
   solution.objective = value;
+  CEA_TELEM(static const obs::MetricId obs_solves =
+                obs::counter("simplex.solves");
+            obs::add(obs_solves);
+            static const obs::MetricId obs_pivots =
+                obs::counter("simplex.pivots");
+            obs::add(obs_pivots, static_cast<double>(solution.iterations)););
   return solution;
+}
+
+LpSolution solve_lp(const LpProblem& problem, int max_iterations) {
+  LpSolver solver;
+  return solver.solve(problem, max_iterations);
 }
 
 }  // namespace cea

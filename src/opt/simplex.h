@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "util/arena.h"
+
 namespace cea {
 
 /// Relation of a linear constraint's left-hand side to its right-hand side.
@@ -34,18 +36,50 @@ struct LpSolution {
   LpStatus status = LpStatus::kIterationLimit;
   double objective = 0.0;       ///< in the problem's own sense (max or min)
   std::vector<double> x;        ///< primal solution (empty unless optimal)
-  int iterations = 0;
+  int iterations = 0;           ///< simplex pivots across both phases
 };
 
 /// Human-readable status name (for logs and test failure messages).
 std::string to_string(LpStatus status);
+
+/// Two-phase primal simplex with Bland's anti-cycling rule over an
+/// unmanaged flat tableau in a preallocated util::Arena: the tableau
+/// (one contiguous row-major block), basis array, and every per-solve
+/// temporary come from the arena, so a warmed-up solver performs zero
+/// heap allocation per solve (and zero per pivot) no matter how many
+/// pivots run. Reuse one LpSolver across solves to amortize the arena;
+/// after the first solve of the largest problem shape,
+/// arena().overflow_count() staying at 0 certifies the steady state
+/// (bench/perf_solver gates on this).
+///
+/// Not thread-safe: one LpSolver per thread (see solve_offline_trading's
+/// thread_local instance).
+class LpSolver {
+ public:
+  LpSolver() = default;
+  /// Pre-size the arena (bytes); solve() grows it on demand otherwise.
+  explicit LpSolver(std::size_t arena_bytes) : arena_(arena_bytes) {}
+
+  LpSolution solve(const LpProblem& problem, int max_iterations = 20000);
+
+  /// Arena bytes a problem of this shape needs (upper bound: every row
+  /// gets both a slack and an artificial column).
+  static std::size_t required_bytes(std::size_t num_variables,
+                                    std::size_t num_constraints) noexcept;
+
+  const util::Arena& arena() const noexcept { return arena_; }
+
+ private:
+  util::Arena arena_;
+};
 
 /// Solve a (small, dense) linear program with the two-phase primal simplex
 /// method using Bland's anti-cycling rule.
 ///
 /// This is the library's substitute for the Gurobi solver the paper uses for
 /// its Offline baseline: exact for the offline carbon-trading LPs, which have
-/// 2T variables and O(T) rows.
+/// 2T variables and O(T) rows. One-shot convenience over a fresh LpSolver;
+/// hot paths hold an LpSolver to reuse its arena across solves.
 LpSolution solve_lp(const LpProblem& problem, int max_iterations = 20000);
 
 }  // namespace cea

@@ -1,0 +1,66 @@
+// AVX2 batched Tsallis-Newton kernel: 4 solves per sweep in one __m256d.
+// This TU is compiled with -mavx2 -ffp-contract=off (src/opt/CMakeLists.txt)
+// and must only be entered behind the util::have_avx2() runtime check.
+// vdivpd/vsqrtpd are IEEE correctly rounded, so each lane reproduces the
+// scalar oracle's arithmetic bit for bit.
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include "opt/tsallis_batch_simd.h"
+
+namespace cea::tsallis_detail {
+namespace {
+
+struct VecAvx2 {
+  using Reg = __m256d;
+  using Mask = __m256d;  // lanewise all-ones / all-zeros
+  static constexpr std::size_t kWidth = 4;
+
+  static Reg load(const double* p) noexcept { return _mm256_loadu_pd(p); }
+  static void store(double* p, Reg v) noexcept { _mm256_storeu_pd(p, v); }
+  static Reg set1(double x) noexcept { return _mm256_set1_pd(x); }
+  static Reg add(Reg a, Reg b) noexcept { return _mm256_add_pd(a, b); }
+  static Reg sub(Reg a, Reg b) noexcept { return _mm256_sub_pd(a, b); }
+  static Reg mul(Reg a, Reg b) noexcept { return _mm256_mul_pd(a, b); }
+  static Reg div(Reg a, Reg b) noexcept { return _mm256_div_pd(a, b); }
+  static Reg sqrt(Reg a) noexcept { return _mm256_sqrt_pd(a); }
+  static Reg max(Reg a, Reg b) noexcept { return _mm256_max_pd(a, b); }
+  static Reg abs(Reg a) noexcept {
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), a);
+  }
+
+  static Mask cmp_lt(Reg a, Reg b) noexcept {
+    return _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+  }
+  static Mask cmp_gt(Reg a, Reg b) noexcept {
+    return _mm256_cmp_pd(a, b, _CMP_GT_OQ);
+  }
+  static Reg select(Mask m, Reg a, Reg b) noexcept {  // m ? a : b
+    return _mm256_blendv_pd(b, a, m);
+  }
+  static Mask mask_all() noexcept {
+    return _mm256_cmp_pd(_mm256_setzero_pd(), _mm256_setzero_pd(), _CMP_EQ_OQ);
+  }
+  static Mask mask_and(Mask a, Mask b) noexcept { return _mm256_and_pd(a, b); }
+  static Mask mask_andnot(Mask a, Mask b) noexcept {  // ~a & b
+    return _mm256_andnot_pd(a, b);
+  }
+  static bool any(Mask m) noexcept { return _mm256_movemask_pd(m) != 0; }
+  static unsigned to_bits(Mask m) noexcept {
+    return static_cast<unsigned>(_mm256_movemask_pd(m));
+  }
+};
+
+static_assert(VecAvx2::kWidth == kAvx2Width);
+
+}  // namespace
+
+void newton_batch_avx2(const BatchKernelArgs& args) {
+  newton_batch_body<VecAvx2>(args);
+}
+
+}  // namespace cea::tsallis_detail
+
+#endif  // defined(__x86_64__)

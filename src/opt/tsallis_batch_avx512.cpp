@@ -1,0 +1,71 @@
+// AVX-512 batched Tsallis-Newton kernel: 8 solves per sweep in one
+// __m512d, with native __mmask8 lane masks. This TU is compiled with
+// -mavx512vl -mavx512dq -ffp-contract=off (src/opt/CMakeLists.txt) and
+// must only be entered behind the util::have_avx512() runtime check.
+
+#if defined(__x86_64__)
+
+// GCC 12's unmasked _mm512_sqrt_pd/_mm512_max_pd seed their result with
+// _mm512_undefined_pd, a documented false positive for this warning.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include "opt/tsallis_batch_simd.h"
+
+namespace cea::tsallis_detail {
+namespace {
+
+struct VecAvx512 {
+  using Reg = __m512d;
+  using Mask = __mmask8;
+  static constexpr std::size_t kWidth = 8;
+
+  static Reg load(const double* p) noexcept { return _mm512_loadu_pd(p); }
+  static void store(double* p, Reg v) noexcept { _mm512_storeu_pd(p, v); }
+  static Reg set1(double x) noexcept { return _mm512_set1_pd(x); }
+  static Reg add(Reg a, Reg b) noexcept { return _mm512_add_pd(a, b); }
+  static Reg sub(Reg a, Reg b) noexcept { return _mm512_sub_pd(a, b); }
+  static Reg mul(Reg a, Reg b) noexcept { return _mm512_mul_pd(a, b); }
+  static Reg div(Reg a, Reg b) noexcept { return _mm512_div_pd(a, b); }
+  static Reg sqrt(Reg a) noexcept { return _mm512_sqrt_pd(a); }
+  static Reg max(Reg a, Reg b) noexcept { return _mm512_max_pd(a, b); }
+  static Reg abs(Reg a) noexcept {
+    // Not _mm512_abs_pd: its _mm512_undefined_pd seed trips GCC's
+    // -Wmaybe-uninitialized. The sign-mask andnot is the same single op.
+    return _mm512_andnot_pd(_mm512_set1_pd(-0.0), a);
+  }
+
+  static Mask cmp_lt(Reg a, Reg b) noexcept {
+    return _mm512_cmp_pd_mask(a, b, _CMP_LT_OQ);
+  }
+  static Mask cmp_gt(Reg a, Reg b) noexcept {
+    return _mm512_cmp_pd_mask(a, b, _CMP_GT_OQ);
+  }
+  static Reg select(Mask m, Reg a, Reg b) noexcept {  // m ? a : b
+    return _mm512_mask_blend_pd(m, b, a);
+  }
+  static Mask mask_all() noexcept { return static_cast<Mask>(0xff); }
+  static Mask mask_and(Mask a, Mask b) noexcept {
+    return static_cast<Mask>(a & b);
+  }
+  static Mask mask_andnot(Mask a, Mask b) noexcept {  // ~a & b
+    return static_cast<Mask>(~a & b);
+  }
+  static bool any(Mask m) noexcept { return m != 0; }
+  static unsigned to_bits(Mask m) noexcept { return m; }
+};
+
+static_assert(VecAvx512::kWidth == kAvx512Width);
+
+}  // namespace
+
+void newton_batch_avx512(const BatchKernelArgs& args) {
+  newton_batch_body<VecAvx512>(args);
+}
+
+}  // namespace cea::tsallis_detail
+
+#endif  // defined(__x86_64__)

@@ -1,0 +1,121 @@
+#pragma once
+
+// Shared batched-Newton kernel body, parameterized on a vector-register
+// traits type (the nn/gemm_simd.h pattern). Each kernel TU includes this
+// header, instantiates newton_batch_body with its traits, and is compiled
+// with the matching -m flags plus -ffp-contract=off.
+//
+// The body is a line-for-line transcription of the scalar Newton loop in
+// tsallis_step.cpp with lane masks in place of early breaks:
+//
+//  * the per-arm chain r = 1/(eta*(theta+lambda)), mass_i = (4*r)*r,
+//    deriv -= ((2*eta)*mass_i)*r keeps the oracle's exact groupings and
+//    accumulates mass/deriv in increasing-arm order ((2*eta) is hoisted —
+//    identical bits, it only depends on the lane);
+//  * exited lanes freeze lambda, so later sweeps recompute identical bits
+//    for them (IEEE div/mul/sqrt are deterministic); the unnormalized
+//    probabilities are not stored per iteration at all — the driver
+//    recomputes them from the frozen lambda with the same chain, which
+//    reproduces the oracle's stores bit for bit;
+//  * bracket updates, the h(lambda) = mass^{-1/2} - 1 Newton step, the
+//    bracket-violation midpoint reset, and the stall test blend under the
+//    active mask only, mirroring the oracle's statement order exactly.
+//
+// Ordered vector compares make NaN steps fall into the midpoint reset
+// branch just like the scalar `!(next > lo && next < hi)` test does.
+
+#include <cstddef>
+
+#include "opt/tsallis_batch_kernels.h"
+
+namespace cea::tsallis_detail {
+
+template <typename V>
+void newton_batch_body(const BatchKernelArgs& args) {
+  using Reg = typename V::Reg;
+  using Mask = typename V::Mask;
+  constexpr std::size_t kW = V::kWidth;
+  const std::size_t n = args.num_arms;
+
+  const Reg eta = V::load(args.eta);
+  Reg lambda = V::load(args.lambda);
+  Reg lo = V::load(args.lo);
+  Reg hi = V::load(args.hi);
+  const Reg one = V::set1(1.0);
+  const Reg two = V::set1(2.0);
+  const Reg four = V::set1(4.0);
+  const Reg half = V::set1(0.5);
+  const Reg mass_tol = V::set1(1e-10);
+  const Reg step_tol = V::set1(1e-15);
+  const Reg two_eta = V::mul(two, eta);
+
+  Reg total = V::set1(0.0);
+  Mask active = V::mask_all();
+  for (std::size_t lane = 0; lane < kW; ++lane) {
+    args.exit_kind[lane] = 0;
+    args.iters[lane] = args.max_iters;
+  }
+  const auto record = [&](Mask m, unsigned char kind, int iter) {
+    const unsigned bits = V::to_bits(m);
+    for (std::size_t lane = 0; lane < kW; ++lane) {
+      if (bits & (1u << lane)) {
+        args.exit_kind[lane] = kind;
+        args.iters[lane] = iter;
+      }
+    }
+  };
+
+  for (int iter = 0; iter < args.max_iters && V::any(active); ++iter) {
+    Reg mass = V::set1(0.0);
+    Reg deriv = V::set1(0.0);
+    for (std::size_t a = 0; a < n; ++a) {
+      const Reg th = V::load(args.theta + a * kW);
+      const Reg r = V::div(one, V::mul(eta, V::add(th, lambda)));
+      const Reg mass_i = V::mul(V::mul(four, r), r);
+      mass = V::add(mass, mass_i);
+      deriv = V::sub(deriv, V::mul(V::mul(two_eta, mass_i), r));
+    }
+
+    // Exit 1: mass converged. Remember the exit mass and freeze; the
+    // driver recomputes this lane's unnormalized p from the frozen
+    // lambda (identical bits to the oracle's converged-exit stores).
+    const Mask newly_converged =
+        V::mask_and(active, V::cmp_lt(V::abs(V::sub(mass, one)), mass_tol));
+    if (V::any(newly_converged)) {
+      total = V::select(newly_converged, mass, total);
+      record(newly_converged, 1, iter);
+      active = V::mask_andnot(newly_converged, active);
+      if (!V::any(active)) break;
+    }
+
+    // Bracket update (active lanes): too much mass -> lambda must grow.
+    const Mask mass_gt1 = V::cmp_gt(mass, one);
+    lo = V::select(V::mask_and(active, mass_gt1), lambda, lo);
+    hi = V::select(V::mask_andnot(mass_gt1, active), lambda, hi);
+
+    // Newton step on h(lambda) = mass^{-1/2} - 1, reset to the bracket
+    // midpoint when it escapes (ordered compares: a NaN step resets too).
+    Reg next = V::add(
+        lambda,
+        V::div(V::mul(two, V::sub(mass, V::mul(mass, V::sqrt(mass)))), deriv));
+    const Mask in_bracket =
+        V::mask_and(V::cmp_gt(next, lo), V::cmp_lt(next, hi));
+    next = V::select(in_bracket, next, V::mul(half, V::add(lo, hi)));
+
+    // Exit 2: relative stall. Lambda still moves to `next` first, exactly
+    // like the scalar loop's pre-break assignment.
+    const Mask stalled = V::cmp_lt(
+        V::abs(V::sub(next, lambda)), V::mul(step_tol, V::max(one, V::abs(lambda))));
+    lambda = V::select(active, next, lambda);
+    const Mask newly_stalled = V::mask_and(active, stalled);
+    if (V::any(newly_stalled)) {
+      record(newly_stalled, 2, iter);
+      active = V::mask_andnot(newly_stalled, active);
+    }
+  }
+
+  V::store(args.lambda, lambda);
+  V::store(args.total, total);
+}
+
+}  // namespace cea::tsallis_detail

@@ -23,7 +23,19 @@ double probability_mass(std::span<const double> theta, double eta,
   return total;
 }
 
+/// Thread-local so concurrent simulator runs can't see a test's cap.
+thread_local int g_newton_iteration_cap = 100;
+
 }  // namespace
+
+int set_tsallis_newton_iteration_cap(int cap) noexcept {
+  assert(cap > 0);
+  const int previous = g_newton_iteration_cap;
+  g_newton_iteration_cap = cap;
+  return previous;
+}
+
+int tsallis_newton_iteration_cap() noexcept { return g_newton_iteration_cap; }
 
 std::vector<double> tsallis_probabilities(
     std::span<const double> cumulative_losses, double eta) {
@@ -90,8 +102,9 @@ void tsallis_probabilities_into(std::span<const double> cumulative_losses,
   bool newton_ok = false;
   double total = 0.0;   // mass at the lambda the p[] values were taken at
   bool p_current = false;
+  const int max_iters = g_newton_iteration_cap;
   int iter = 0;
-  for (; iter < 100; ++iter) {
+  for (; iter < max_iters; ++iter) {
     double mass = 0.0, deriv = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const double r = 1.0 / (eta * (theta[i] + lambda));

@@ -39,6 +39,16 @@ void tsallis_probabilities_into(std::span<const double> cumulative_losses,
                                 std::vector<double>& theta_scratch,
                                 double* scaled_lambda_warm = nullptr);
 
+/// Test hook: caps the safeguarded-Newton iterations of both the scalar
+/// solver above and TsallisBatchSolver for the calling thread, forcing
+/// the divergence (Brent fallback / lane delegation) paths on demand.
+/// Returns the previous cap. The default (100) is the production value;
+/// tests must restore it.
+int set_tsallis_newton_iteration_cap(int cap) noexcept;
+
+/// Current per-thread Newton iteration cap (100 unless a test lowered it).
+int tsallis_newton_iteration_cap() noexcept;
+
 /// Objective value of the OMD step at a given p (used by tests to verify
 /// optimality of tsallis_probabilities against direct minimization).
 double tsallis_step_objective(std::span<const double> cumulative_losses,

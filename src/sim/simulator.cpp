@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "obs/telemetry.h"
+#include "opt/tsallis_batch.h"
 #include "util/check.h"
 
 namespace cea::sim {
@@ -146,8 +147,48 @@ RunResult Simulator::run_impl(
   const bool per_sample = options_.per_sample_draws;
   util::ThreadPool* pool = per_sample ? nullptr : options_.pool;
 
+  // Cross-edge batched OMD solving: policies that expose their next
+  // Tsallis solve (TsallisBatchSolvable) get it solved in one SIMD batch
+  // at the start of each slot, before the (possibly parallel) edge
+  // fan-out. Safe because a pending solve's inputs are frozen by the
+  // edge's own previous feedback, and bit-identical because the batch
+  // solver reproduces the scalar oracle exactly.
+  std::vector<bandit::TsallisBatchSolvable*> batchable;
+  bool any_batchable = false;
+  if (options_.cross_edge_batch_solve && !fixed_choices) {
+    batchable.resize(num_edges, nullptr);
+    for (std::size_t i = 0; i < num_edges; ++i) {
+      batchable[i] = dynamic_cast<bandit::TsallisBatchSolvable*>(
+          policies[i].get());
+      any_batchable = any_batchable || batchable[i] != nullptr;
+    }
+  }
+  TsallisBatchSolver batch_solver;
+  std::vector<std::size_t> batch_edges;  // edge of each pushed request
+
   for (std::size_t t = 0; t < horizon; ++t) {
     CEA_SPAN("sim.slot");
+    if (any_batchable) {
+      CEA_SPAN_DETAIL("sim.presolve");
+      batch_solver.clear();
+      batch_edges.clear();
+      bandit::TsallisSolveRequest request;
+      for (std::size_t i = 0; i < num_edges; ++i) {
+        if (batchable[i] != nullptr && batchable[i]->next_solve(request)) {
+          batch_solver.push(request.cumulative_losses, request.eta,
+                            request.scaled_lambda_warm);
+          batch_edges.push_back(i);
+        }
+      }
+      if (!batch_edges.empty()) {
+        batch_solver.solve();
+        for (std::size_t j = 0; j < batch_edges.size(); ++j) {
+          batchable[batch_edges[j]]->accept_presolve(
+              batch_solver.probabilities(j),
+              batch_solver.scaled_lambda_warm(j));
+        }
+      }
+    }
     const trading::TradeObservation quote{env_.prices().buy[t],
                                           env_.prices().sell[t]};
     trading::TradeDecision trade;

@@ -29,6 +29,16 @@ struct SimOptions {
   /// stream. Serial only (the shared stream is order-dependent); kept for
   /// the perf_simulator bench to measure the batched engine against.
   bool per_sample_draws = false;
+
+  /// Gather the slot's pending Tsallis-INF OMD solves across all edges
+  /// (policies implementing bandit::TsallisBatchSolvable) into one
+  /// TsallisBatchSolver call — SIMD lanes across edges — before the edge
+  /// fan-out. Bit-identical to per-edge solving for any engine mode (the
+  /// batch solver reproduces the scalar oracle exactly; see
+  /// opt/tsallis_batch.h), so this is purely a performance switch; off
+  /// reproduces the historical per-edge call sites, which
+  /// bench/perf_solver measures against.
+  bool cross_edge_batch_solve = true;
 };
 
 /// Drives the per-slot workflow of Fig. 2 over a scenario: per edge select

@@ -50,7 +50,11 @@ OfflineTradingPlan solve_offline_trading(
   OfflineTradingPlan plan;
   plan.buy.assign(horizon, 0.0);
   plan.sell.assign(horizon, 0.0);
-  const LpSolution solution = solve_lp(problem, 200000);
+  // Averaged experiments solve one offline LP per run, possibly from several
+  // pool threads at once; a thread_local solver keeps each thread's arena
+  // warm so repeated solves of the same horizon allocate nothing.
+  thread_local LpSolver solver;
+  const LpSolution solution = solver.solve(problem, 200000);
   if (solution.status != LpStatus::kOptimal) return plan;
   plan.feasible = true;
   plan.cost = solution.objective;

@@ -1,0 +1,45 @@
+#include "util/arena.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace cea::util {
+
+void Arena::reserve(std::size_t capacity_bytes) {
+  if (capacity_bytes <= capacity_) return;
+  // Moving the block would dangle prior allocations; growth is only legal
+  // while nothing is live.
+  assert(used_ == 0 && "Arena::reserve with live allocations");
+  block_ = std::make_unique<std::byte[]>(capacity_bytes);
+  capacity_ = capacity_bytes;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0 && "align not a power of 2");
+  const std::uintptr_t base =
+      reinterpret_cast<std::uintptr_t>(block_.get()) + used_;
+  const std::size_t padding = (align - base % align) % align;
+  if (used_ + padding + bytes <= capacity_) {
+    std::byte* p = block_.get() + used_ + padding;
+    used_ += padding + bytes;
+    if (used_ > high_water_) high_water_ = used_;
+    return p;
+  }
+  // Exhausted: a mis-sized arena is a bug the owner should fix (the assert
+  // fires in debug builds); in release we stay correct via a dedicated
+  // heap block and record the event so overflow_count() exposes it.
+  assert(false && "Arena capacity exhausted (reserve more up front)");
+  ++overflow_count_;
+  auto block = std::make_unique<std::byte[]>(bytes + align);
+  const std::uintptr_t raw = reinterpret_cast<std::uintptr_t>(block.get());
+  std::byte* p = block.get() + (align - raw % align) % align;
+  overflow_blocks_.push_back(std::move(block));
+  return p;
+}
+
+void Arena::reset() noexcept {
+  used_ = 0;
+  overflow_blocks_.clear();
+}
+
+}  // namespace cea::util

@@ -1,0 +1,74 @@
+#pragma once
+
+// Bump allocator for solver hot paths (the LoopModels unmanaged-tableau
+// idiom): capacity is reserved up front, allocation is a pointer bump, and
+// reset() recycles the whole block without touching the heap. Owners size
+// the arena for their worst case once (warmup), after which a steady-state
+// solve performs zero heap allocation — the property bench/perf_solver
+// verifies via overflow_count().
+//
+// Exhaustion contract: running past capacity asserts in debug builds
+// (the owner mis-sized its arena); release builds fall back to a dedicated
+// heap block so results stay correct, and count the event in
+// overflow_count() so benches and audits can detect the regression.
+// Overflow blocks are released by the next reset().
+//
+// Not thread-safe: one arena per owner (solver instance or thread_local).
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace cea::util {
+
+class Arena {
+ public:
+  Arena() = default;
+  explicit Arena(std::size_t capacity_bytes) { reserve(capacity_bytes); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Grow the backing block to at least `capacity_bytes`. Existing
+  /// allocations stay valid only when the block does not move, so owners
+  /// must reserve before handing out pointers (typically: reserve, then
+  /// reset + allocate per solve). Reserving below the current capacity is
+  /// a no-op.
+  void reserve(std::size_t capacity_bytes);
+
+  /// `bytes` of storage aligned to `align` (a power of two). Uninitialized.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  /// Uninitialized array of `count` Ts (T must be trivially destructible —
+  /// nothing here runs destructors).
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Recycle every allocation (pointers become dangling) and free any
+  /// overflow blocks. Capacity and high-water statistics persist.
+  void reset() noexcept;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept { return used_; }
+  /// Largest used() observed since construction — the number to reserve.
+  std::size_t high_water() const noexcept { return high_water_; }
+  /// Allocations that did not fit the reserved block since construction
+  /// (not reset by reset()): 0 after warmup means steady-state solves are
+  /// allocation-free.
+  std::size_t overflow_count() const noexcept { return overflow_count_; }
+
+ private:
+  std::unique_ptr<std::byte[]> block_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t overflow_count_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> overflow_blocks_;
+};
+
+}  // namespace cea::util

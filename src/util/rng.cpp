@@ -37,13 +37,18 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
   // hi < lo would wrap the range computation below and silently sample
   // from an unrelated interval; it is a caller bug, not a degenerate case.
   assert(lo <= hi && "Rng::uniform_int requires lo <= hi");
-  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Width and offset arithmetic in uint64: hi - lo overflows int64 when
+  // the bounds span more than half the domain (wraparound is the defined
+  // behavior we want, and the final two's-complement cast restores the
+  // signed result).
+  const std::uint64_t range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t limit = max() - max() % range;
   std::uint64_t v = (*this)();
   while (v >= limit) v = (*this)();
-  return lo + static_cast<std::int64_t>(v % range);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + v % range);
 }
 
 double Rng::normal() noexcept {

@@ -178,4 +178,18 @@ inline std::string per_sample_golden_path() {
   return golden_dir() + "/ours_per_sample.csv";
 }
 
+/// The Offline baseline (best fixed model + offline trading LP) pins the
+/// simplex solver bit-exactly: any pivot-order or arithmetic change in
+/// opt/simplex shows up as a field-level diff in the buys/sells rows.
+inline std::string offline_golden_path() {
+  return golden_dir() + "/offline_lp.csv";
+}
+
+/// Run the golden scenario's Offline combo (run_offline drives
+/// solve_offline_trading and OfflineLpTrader over the realized emissions).
+inline RunResult run_golden_offline() {
+  const auto env = Environment::make_parametric(golden_config());
+  return run_offline(env, kGoldenRunSeed);
+}
+
 }  // namespace cea::sim::golden

@@ -19,6 +19,10 @@ int main() {
   golden::write_trace(reference, golden::per_sample_golden_path());
   std::printf("wrote %s\n", golden::per_sample_golden_path().c_str());
 
+  const auto offline = golden::trace_of(golden::run_golden_offline());
+  golden::write_trace(offline, golden::offline_golden_path());
+  std::printf("wrote %s\n", golden::offline_golden_path().c_str());
+
   // Sanity: the pool-parallel engine must agree with the batched-serial
   // trace just written (they share a golden).
   cea::util::ThreadPool pool(3);

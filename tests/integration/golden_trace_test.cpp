@@ -42,6 +42,22 @@ TEST(GoldenTrace, PerSampleReferenceMatchesItsGolden) {
   EXPECT_TRUE(diffs.empty()) << join_diffs(diffs);
 }
 
+TEST(GoldenTrace, CrossEdgeBatchSolveDisabledMatchesSameGolden) {
+  // The cross-edge batched OMD solver is bit-identical to the per-edge
+  // scalar path, so BOTH engine modes must reproduce the one golden.
+  const auto expected = read_trace(batched_golden_path());
+  SimOptions options;
+  options.cross_edge_batch_solve = false;
+  const auto diffs = diff_traces(expected, trace_of(run_golden(options)));
+  EXPECT_TRUE(diffs.empty()) << join_diffs(diffs);
+}
+
+TEST(GoldenTrace, OfflineLpMatchesItsGolden) {
+  const auto expected = read_trace(offline_golden_path());
+  const auto diffs = diff_traces(expected, trace_of(run_golden_offline()));
+  EXPECT_TRUE(diffs.empty()) << join_diffs(diffs);
+}
+
 TEST(GoldenTrace, OneUlpPerturbationYieldsFieldLevelDiff) {
   const auto expected = read_trace(batched_golden_path());
   auto perturbed = expected;

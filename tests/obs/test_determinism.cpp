@@ -109,7 +109,8 @@ TEST_F(TelemetryDeterminism, SlotPhaseSpansCoverTheSlot) {
     if (hist.name == "sim.slot") {
       slot_sum = hist.sum;
       slot_count = hist.count;
-    } else if (hist.name == "sim.edges" || hist.name == "sim.reduce" ||
+    } else if (hist.name == "sim.presolve" || hist.name == "sim.edges" ||
+               hist.name == "sim.reduce" ||
                hist.name == "sim.trader.decide" ||
                hist.name == "sim.trader.feedback" ||
                hist.name == "sim.audit") {

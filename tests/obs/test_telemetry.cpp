@@ -196,12 +196,14 @@ TEST_F(Telemetry, ResetZeroesValuesButKeepsIds) {
   const MetricId id = counter("test.reset");
   add(id, 4.0);
   reset();
-  const auto* zeroed = find_counter(snapshot(), "test.reset");
+  const Snapshot snap_zeroed = snapshot();
+  const auto* zeroed = find_counter(snap_zeroed, "test.reset");
   ASSERT_NE(zeroed, nullptr);
   EXPECT_DOUBLE_EQ(zeroed->value, 0.0);
   // The cached id survives the reset (static locals are registered once).
   add(id, 2.0);
-  const auto* after = find_counter(snapshot(), "test.reset");
+  const Snapshot snap_after = snapshot();
+  const auto* after = find_counter(snap_after, "test.reset");
   ASSERT_NE(after, nullptr);
   EXPECT_DOUBLE_EQ(after->value, 2.0);
 }
@@ -214,7 +216,8 @@ TEST_F(Telemetry, SpanRecordsIntoDurationHistogram) {
   {
     CEA_SPAN("test.span");
   }
-  const auto* h = find_histogram(snapshot(), "test.span");
+  const Snapshot snap = snapshot();
+  const auto* h = find_histogram(snap, "test.span");
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->count, 2u);
   EXPECT_GE(h->min, 0.0);

@@ -1,0 +1,116 @@
+// util::Arena contract tests: alignment, bump behavior, reset/reuse, and
+// the capacity-exhaustion fallback (release builds overflow to dedicated
+// heap blocks and count the event; debug builds assert — the death test
+// below only runs when asserts are live).
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace cea::util {
+namespace {
+
+bool aligned_to(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(1024);
+  auto* a = arena.alloc_array<double>(10);
+  auto* b = arena.alloc_array<char>(3);
+  auto* c = arena.alloc_array<double>(5);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(aligned_to(a, alignof(double)));
+  EXPECT_TRUE(aligned_to(c, alignof(double)));
+  // Writing every byte of each allocation must not bleed into the others.
+  std::memset(a, 0xAA, 10 * sizeof(double));
+  std::memset(b, 0xBB, 3);
+  std::memset(c, 0xCC, 5 * sizeof(double));
+  EXPECT_EQ(static_cast<unsigned char>(reinterpret_cast<char*>(a)[0]), 0xAA);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0xBB);
+  EXPECT_EQ(arena.overflow_count(), 0u);
+  EXPECT_LE(arena.used(), arena.capacity());
+}
+
+TEST(Arena, WideAlignmentRequestsAreHonored) {
+  Arena arena(4096);
+  arena.alloc_array<char>(1);  // misalign the bump pointer
+  void* p = arena.allocate(128, 64);
+  EXPECT_TRUE(aligned_to(p, 64));
+  EXPECT_EQ(arena.overflow_count(), 0u);
+}
+
+TEST(Arena, ResetRecyclesTheBlockWithoutGrowth) {
+  Arena arena(512);
+  void* first = arena.allocate(256, 8);
+  const std::size_t used_after_first = arena.used();
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  void* second = arena.allocate(256, 8);
+  // Same block, same offset: reset really recycles.
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(arena.used(), used_after_first);
+  EXPECT_EQ(arena.overflow_count(), 0u);
+  EXPECT_EQ(arena.capacity(), 512u);
+}
+
+TEST(Arena, HighWaterTracksLargestUse) {
+  Arena arena(1024);
+  arena.allocate(100, 8);
+  arena.allocate(200, 8);
+  const std::size_t peak = arena.used();
+  arena.reset();
+  arena.allocate(50, 8);
+  EXPECT_EQ(arena.high_water(), peak);
+  EXPECT_GE(peak, 300u);
+}
+
+TEST(Arena, ReserveBelowCapacityIsANoOp) {
+  Arena arena(1024);
+  arena.reserve(16);
+  EXPECT_EQ(arena.capacity(), 1024u);
+  arena.reserve(2048);
+  EXPECT_EQ(arena.capacity(), 2048u);
+}
+
+#if defined(NDEBUG)
+// Release-build fallback: exhaustion stays correct (fresh heap block,
+// aligned, disjoint from the arena block) and is counted.
+TEST(Arena, ExhaustionFallsBackToOverflowBlocks) {
+  Arena arena(64);
+  arena.allocate(64, 8);
+  auto* over = arena.alloc_array<double>(32);
+  ASSERT_NE(over, nullptr);
+  EXPECT_TRUE(aligned_to(over, alignof(double)));
+  std::memset(over, 0x11, 32 * sizeof(double));
+  EXPECT_EQ(arena.overflow_count(), 1u);
+  arena.allocate(1024, 8);
+  EXPECT_EQ(arena.overflow_count(), 2u);
+  // reset() frees the overflow blocks but keeps the cumulative count: the
+  // counter is the "did we ever mis-size" signal perf_solver gates on.
+  arena.reset();
+  EXPECT_EQ(arena.overflow_count(), 2u);
+  EXPECT_EQ(arena.used(), 0u);
+}
+#else
+// Debug builds assert on exhaustion (mis-sized arena is a caller bug).
+TEST(ArenaDeathTest, ExhaustionAssertsInDebug) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Arena arena(16);
+  arena.allocate(16, 8);
+  EXPECT_DEATH(arena.allocate(64, 8), "exhausted");
+}
+#endif
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  Arena arena(64);
+  void* p = arena.allocate(0, 8);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(arena.overflow_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cea::util
