@@ -13,9 +13,10 @@
 //
 // All three produce valid RunResults; batched serial and batched parallel
 // are bit-identical (tests/sim/test_parallel.cpp). Results are mirrored to
-// bench_out/perf_simulator.csv (mode, edges, slots_per_sec) so the perf
-// trajectory can be tracked across PRs, and the headline
-// parallel-vs-persample speedup at 50 edges is printed at the end.
+// bench_out/perf_simulator.json (mode, edges, slots_per_sec — the one
+// baseline format every perf bench emits) so the perf trajectory can be
+// tracked across PRs, and the headline parallel-vs-persample speedup at 50
+// edges is printed at the end.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -29,7 +30,6 @@
 #include "bench_common.h"
 #include "sim/experiment.h"
 #include "sim/simulator.h"
-#include "util/csv.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -175,13 +175,10 @@ int main(int argc, char** argv) {
   }
 
   std::filesystem::create_directories("bench_out");
-  CsvWriter csv("bench_out/perf_simulator.csv");
-  csv.write_row({"mode", "edges", "slots_per_sec"});
   double persample_50 = 0.0, parallel_50 = 0.0, batched_50 = 0.0;
   for (const auto& [mode, edges] : order) {
     const auto& [total, count] = sums.at({mode, edges});
     const double mean = total / static_cast<double>(count);
-    csv.write_row(mode, {static_cast<double>(std::stoul(edges)), mean});
     if (edges == "50") {
       if (mode == "serial_persample") persample_50 = mean;
       if (mode == "serial_batched") batched_50 = mean;
@@ -194,7 +191,7 @@ int main(int argc, char** argv) {
                 batched_50 / persample_50, parallel_50 / persample_50);
   }
 
-  // JSON mirror of the CSV rows, stamped with run provenance.
+  // The one checked-in baseline format: JSON rows with run provenance.
   {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -1,0 +1,37 @@
+#include "bandit/fleet_policy.h"
+
+#include <cassert>
+
+namespace cea::bandit {
+
+PerEdgeFleetAdapter::PerEdgeFleetAdapter(const PolicyFactory& factory,
+                                         const FleetPolicyContext& context) {
+  assert(context.switching_cost.size() == context.num_edges);
+  policies_.reserve(context.num_edges);
+  batchable_.reserve(context.num_edges);
+  for (std::size_t edge = 0; edge < context.num_edges; ++edge) {
+    PolicyContext per_edge;
+    per_edge.num_models = context.num_models;
+    per_edge.switching_cost = context.switching_cost[edge];
+    per_edge.energy_per_sample = context.energy_per_sample;
+    per_edge.seed = policy_stream_seed(context.run_seed, edge);
+    per_edge.horizon = context.horizon;
+    per_edge.edge = edge;
+    policies_.push_back(factory(per_edge));
+    batchable_.push_back(
+        dynamic_cast<TsallisBatchSolvable*>(policies_.back().get()));
+    any_batchable_ = any_batchable_ || batchable_.back() != nullptr;
+  }
+}
+
+std::string PerEdgeFleetAdapter::name() const {
+  return policies_.empty() ? "EmptyFleet" : policies_.front()->name();
+}
+
+FleetPolicyFactory adapt_per_edge(PolicyFactory factory) {
+  return [factory = std::move(factory)](const FleetPolicyContext& context) {
+    return std::make_unique<PerEdgeFleetAdapter>(factory, context);
+  };
+}
+
+}  // namespace cea::bandit

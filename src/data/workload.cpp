@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numbers>
+
+#include "util/thread_pool.h"
 
 namespace cea::data {
 
@@ -19,8 +22,99 @@ double diurnal_shape(double u) noexcept {
   return value / 1.35;  // normalize roughly into [0, 1]
 }
 
-WorkloadTraces generate_workload(std::size_t num_edges,
-                                 const WorkloadConfig& config, Rng& rng) {
+double bounded_pareto_quantile(double u, double alpha, double lo,
+                               double hi) noexcept {
+  assert(alpha > 0.0 && lo > 0.0 && hi > lo);
+  // F(x) = (1 - (lo/x)^a) / (1 - (lo/hi)^a) on [lo, hi]; invert for x.
+  const double tail = 1.0 - std::pow(lo / hi, alpha);
+  const double x = lo / std::pow(1.0 - u * tail, 1.0 / alpha);
+  return std::clamp(x, lo, hi);
+}
+
+double bounded_pareto_mean(double alpha, double lo, double hi) noexcept {
+  assert(alpha > 0.0 && lo > 0.0 && hi > lo);
+  const double trunc = 1.0 - std::pow(lo / hi, alpha);
+  if (std::abs(alpha - 1.0) < 1e-12) {
+    return lo * std::log(hi / lo) / trunc;
+  }
+  return alpha * std::pow(lo, alpha) *
+         (std::pow(lo, 1.0 - alpha) - std::pow(hi, 1.0 - alpha)) /
+         ((alpha - 1.0) * trunc);
+}
+
+double zipf_scale(std::size_t edge, std::size_t num_edges,
+                  double exponent) noexcept {
+  assert(edge < num_edges);
+  double total = 0.0;
+  for (std::size_t e = 0; e < num_edges; ++e)
+    total += std::pow(static_cast<double>(e + 1), -exponent);
+  const double norm = static_cast<double>(num_edges) / total;
+  return std::pow(static_cast<double>(edge + 1), -exponent) * norm;
+}
+
+namespace {
+
+/// Uniform in [0, 1) from a hashed key — one mix, no generator state. Used
+/// for the flash-event schedule, which must be readable for any (edge, t0)
+/// without sequencing a stream.
+double hashed_unit(std::uint64_t key) noexcept {
+  return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
+/// Salt separating the flash-event coin stream from the cell draw stream.
+constexpr std::uint64_t kFlashSalt = 0xF1A5C0DE5EEDULL;
+
+/// Flash contributions below this fraction of flash_magnitude are dropped;
+/// bounds the lookback so a cell stays O(1) in t.
+constexpr double kFlashEpsilon = 1e-4;
+
+double flash_multiplier(const WorkloadConfig& config, std::uint64_t base_seed,
+                        std::size_t edge, std::size_t t) noexcept {
+  const double decay = config.flash_decay;
+  assert(decay > 0.0 && decay < 1.0);
+  const std::size_t lookback = std::min<std::size_t>(
+      t + 1, static_cast<std::size_t>(
+                 std::ceil(std::log(kFlashEpsilon) / std::log(decay))));
+  double flash = 0.0;
+  double weight = 1.0;
+  for (std::size_t lag = 0; lag < lookback; ++lag, weight *= decay) {
+    const std::size_t t0 = t - lag;
+    const double coin =
+        hashed_unit(stream_seed(base_seed ^ kFlashSalt, edge, t0));
+    if (coin < config.flash_probability)
+      flash += config.flash_magnitude * weight;
+  }
+  return 1.0 + flash;
+}
+
+WorkloadTraces generate_keyed(std::size_t num_edges,
+                              const WorkloadConfig& config,
+                              std::uint64_t base_seed,
+                              util::ThreadPool* pool) {
+  // Shared normalizer, computed once (it is O(num_edges) itself).
+  double total = 0.0;
+  for (std::size_t e = 0; e < num_edges; ++e)
+    total += std::pow(static_cast<double>(e + 1), -config.zipf_exponent);
+  const double zipf_norm =
+      total > 0.0 ? static_cast<double>(num_edges) / total : 1.0;
+
+  WorkloadTraces traces(num_edges);
+  const auto edge_task = [&](std::size_t e) {
+    auto& trace = traces[e];
+    trace.resize(config.num_slots);
+    for (std::size_t t = 0; t < config.num_slots; ++t)
+      trace[t] = workload_cell(config, base_seed, zipf_norm, e, t);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(num_edges, edge_task);
+  } else {
+    for (std::size_t e = 0; e < num_edges; ++e) edge_task(e);
+  }
+  return traces;
+}
+
+WorkloadTraces generate_diurnal(std::size_t num_edges,
+                                const WorkloadConfig& config, Rng& rng) {
   assert(config.slots_per_day > 0);
   WorkloadTraces traces(num_edges);
 
@@ -54,6 +148,50 @@ WorkloadTraces generate_workload(std::size_t num_edges,
     }
   }
   return traces;
+}
+
+}  // namespace
+
+int workload_cell(const WorkloadConfig& config, std::uint64_t base_seed,
+                  double zipf_norm, std::size_t edge, std::size_t t) noexcept {
+  assert(config.kind != WorkloadKind::kDiurnal);
+  const double scale =
+      std::pow(static_cast<double>(edge + 1), -config.zipf_exponent) *
+      zipf_norm;
+  // Burst factor: bounded Pareto normalized to unit mean, so the configured
+  // mean_samples survives the heavy tail.
+  Rng cell(stream_seed(base_seed, edge, t));
+  const double burst =
+      bounded_pareto_quantile(cell.uniform(), config.pareto_alpha, 1.0,
+                              config.pareto_cap) /
+      bounded_pareto_mean(config.pareto_alpha, 1.0, config.pareto_cap);
+  double mean = config.mean_samples * scale * burst;
+  if (config.kind == WorkloadKind::kFlashCrowd)
+    mean *= flash_multiplier(config, base_seed, edge, t);
+  // Poisson arrivals around the slot mean; constant-time for any magnitude
+  // (normal approximation above 64), so means in the millions are fine.
+  const std::int64_t count = std::max<std::int64_t>(1, cell.poisson(mean));
+  return static_cast<int>(std::min<std::int64_t>(
+      count, std::numeric_limits<int>::max()));
+}
+
+WorkloadTraces generate_workload(std::size_t num_edges,
+                                 const WorkloadConfig& config, Rng& rng) {
+  return generate_workload_pooled(num_edges, config, rng, nullptr);
+}
+
+WorkloadTraces generate_workload_pooled(std::size_t num_edges,
+                                        const WorkloadConfig& config,
+                                        Rng& rng, util::ThreadPool* pool) {
+  if (config.kind == WorkloadKind::kDiurnal) {
+    // Legacy sequential layout (golden traces pin it byte for byte); its
+    // single shared stream cannot fan out.
+    return generate_diurnal(num_edges, config, rng);
+  }
+  // One draw fixes the base seed; everything after is a pure function of
+  // (base_seed, edge, t), so the pooled and serial paths agree bitwise.
+  const std::uint64_t base_seed = rng();
+  return generate_keyed(num_edges, config, base_seed, pool);
 }
 
 }  // namespace cea::data

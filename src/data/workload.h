@@ -1,19 +1,47 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/rng.h"
 
+namespace cea::util {
+class ThreadPool;
+}
+
 namespace cea::data {
+
+/// Trace family of the synthetic workload generator.
+enum class WorkloadKind {
+  /// Weekday double-peak diurnal profile with Pareto station scales and
+  /// multiplicative noise — the paper's underground-station substitution.
+  /// Generated from a single sequential RNG stream (legacy layout; every
+  /// golden trace pins it byte for byte).
+  kDiurnal,
+  /// Heavy-tailed request sizes: Zipf(zipf_exponent) edge popularity times
+  /// an i.i.d. bounded-Pareto(pareto_alpha, [1, pareto_cap]) burst per
+  /// (edge, slot), normalized so E[M_i^t] stays mean_samples * scale_i.
+  /// Every cell is a pure function of (seed, edge, t), so generation
+  /// parallelizes bit-identically (generate_workload_pooled).
+  kHeavyTail,
+  /// kHeavyTail's Zipf base load plus correlated flash-crowd events: each
+  /// (edge, slot) ignites independently with flash_probability and adds a
+  /// flash_magnitude multiplier decaying geometrically (flash_decay) over
+  /// the following slots. Cells remain pure functions of (seed, edge, t)
+  /// via a bounded lookback window.
+  kFlashCrowd,
+};
 
 /// Parameters of the synthetic inference-workload traces.
 ///
 /// The paper drives each edge with 15-minute passenger counts of London's
 /// busiest Underground stations over a Thursday and a Friday (160 slots).
-/// This generator is the documented substitution: a weekday double-peak
-/// diurnal profile (morning/evening rush), a heavy-tailed per-station scale
-/// mirroring "top-K busiest stations", and multiplicative noise.
+/// kDiurnal is the documented substitution: a weekday double-peak diurnal
+/// profile (morning/evening rush), a heavy-tailed per-station scale
+/// mirroring "top-K busiest stations", and multiplicative noise. The other
+/// kinds stress the fleet engine beyond the paper's traces — see
+/// WorkloadKind.
 struct WorkloadConfig {
   std::size_t num_slots = 160;       ///< total horizon (two days in the paper)
   std::size_t slots_per_day = 80;    ///< 15-min slots in the covered day span
@@ -21,6 +49,16 @@ struct WorkloadConfig {
   double peak_factor = 2.2;          ///< rush-hour multiplier over the base
   double station_scale_alpha = 1.3;  ///< Pareto tail of per-station volume
   double noise = 0.12;               ///< lognormal-ish multiplicative noise
+
+  // --- Fields below only affect kHeavyTail / kFlashCrowd. Appended after
+  // the legacy fields so existing designated initializers keep compiling.
+  WorkloadKind kind = WorkloadKind::kDiurnal;
+  double pareto_alpha = 1.5;   ///< burst tail index (> 1 for a finite mean)
+  double pareto_cap = 64.0;    ///< burst truncation, multiples of the base
+  double zipf_exponent = 1.1;  ///< edge-popularity Zipf exponent
+  double flash_probability = 0.02;  ///< per-(edge, slot) ignition hazard
+  double flash_magnitude = 25.0;    ///< initial multiplier of a flash event
+  double flash_decay = 0.55;        ///< per-slot geometric decay in (0, 1)
 };
 
 /// One trace per edge; trace[t] = M_i^t, the number of arriving samples.
@@ -30,8 +68,43 @@ using WorkloadTraces = std::vector<std::vector<int>>;
 /// fraction u in [0, 1). Exposed for tests.
 double diurnal_shape(double u) noexcept;
 
-/// Generate per-edge workload traces.
+/// Inverse CDF of the bounded (truncated) Pareto on [lo, hi] with tail
+/// index alpha, evaluated at u in [0, 1). Exposed for the tail-index
+/// sanity tests (Hill estimator over quantile samples).
+double bounded_pareto_quantile(double u, double alpha, double lo,
+                               double hi) noexcept;
+
+/// Analytic mean of that bounded Pareto — the burst normalizer that keeps
+/// E[M_i^t] on the configured mean.
+double bounded_pareto_mean(double alpha, double lo, double hi) noexcept;
+
+/// Zipf popularity of edge e with the average over `num_edges` edges
+/// normalized to 1 (so mean_samples keeps its meaning fleet-wide).
+double zipf_scale(std::size_t edge, std::size_t num_edges,
+                  double exponent) noexcept;
+
+/// M_i^t of the keyed kinds (kHeavyTail, kFlashCrowd): a pure function of
+/// (base_seed, edge, t) — the property that makes pooled generation
+/// bit-identical to serial. `zipf_norm` is the shared normalizer
+/// (precomputed by the generators; tests may pass
+/// zipf_scale(edge, E, s) / pow(edge+1, -s) consistency aside and call
+/// with the generator's value). Requires config.kind != kDiurnal.
+int workload_cell(const WorkloadConfig& config, std::uint64_t base_seed,
+                  double zipf_norm, std::size_t edge, std::size_t t) noexcept;
+
+/// Generate per-edge workload traces. kDiurnal consumes `rng` throughout
+/// (legacy sequential layout); the keyed kinds consume exactly one draw to
+/// derive the base seed and are otherwise pure in (seed, edge, t).
 WorkloadTraces generate_workload(std::size_t num_edges,
                                  const WorkloadConfig& config, Rng& rng);
+
+/// Same traces, with the per-edge generation of the keyed kinds fanned out
+/// over `pool` (bit-identical to generate_workload for any pool width —
+/// the fleet tests pin this). kDiurnal's shared sequential stream cannot
+/// fan out and falls back to the serial path. pool == nullptr is the
+/// serial path for every kind.
+WorkloadTraces generate_workload_pooled(std::size_t num_edges,
+                                        const WorkloadConfig& config,
+                                        Rng& rng, util::ThreadPool* pool);
 
 }  // namespace cea::data

@@ -81,6 +81,11 @@ class Registry {
 
   std::size_t trace_capacity = std::size_t{1} << 15;
   std::atomic<std::uint64_t> gauge_seq{0};
+
+  // Cardinality cap (see telemetry.h): distinct names per kind, and the
+  // number of registrations redirected to an overflow bin.
+  std::size_t metric_capacity = 4096;
+  std::uint64_t capped_registrations = 0;
 };
 
 /// Leaked singleton: thread-local shards fold themselves in at thread exit,
@@ -199,6 +204,36 @@ MetricId register_metric(std::uint32_t kind, std::string_view name,
   if (const auto it = reg.by_name.find(key); it != reg.by_name.end()) {
     return kind_of(it->second) == kind ? it->second : kInvalidMetric;
   }
+  // Cardinality cap: a new name past the per-kind capacity registers the
+  // kind's overflow bin instead (the bin itself may exceed the cap by
+  // one). Keeps the registry — and every thread shard and snapshot —
+  // bounded under per-edge-keyed naming at fleet scale.
+  const char* overflow_name = nullptr;
+  std::size_t kind_count = 0;
+  switch (kind) {
+    case kKindCounter:
+      kind_count = reg.counter_names.size();
+      overflow_name = "telemetry.capped.counter";
+      break;
+    case kKindGauge:
+      kind_count = reg.gauge_names.size();
+      overflow_name = "telemetry.capped.gauge";
+      break;
+    case kKindHistogram:
+      kind_count = reg.hist_defs.size();
+      overflow_name = "telemetry.capped.histogram";
+      break;
+    default:
+      return kInvalidMetric;
+  }
+  if (kind_count >= reg.metric_capacity && key != overflow_name) {
+    ++reg.capped_registrations;
+    if (const auto it = reg.by_name.find(overflow_name);
+        it != reg.by_name.end()) {
+      return it->second;
+    }
+    key = overflow_name;  // first capped registration creates the bin
+  }
   MetricId id = kInvalidMetric;
   switch (kind) {
     case kKindCounter:
@@ -255,6 +290,24 @@ namespace internal {
 std::atomic<bool> g_tracing{false};
 std::atomic<bool> g_detail{false};
 }  // namespace internal
+
+void set_metric_capacity(std::size_t max_names_per_kind) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.metric_capacity = max_names_per_kind;
+}
+
+std::size_t metric_capacity() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.metric_capacity;
+}
+
+std::uint64_t capped_registrations() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.capped_registrations;
+}
 
 MetricId counter(std::string_view name) {
   return register_metric(kKindCounter, name);
@@ -412,6 +465,12 @@ void enable_tracing(std::size_t capacity_per_thread) {
 
 void disable_tracing() {
   internal::g_tracing.store(false, std::memory_order_relaxed);
+  if (!compiled_in()) return;
+  // trace_dropped() counts "since tracing was enabled": drop counts folded
+  // in by drains of the ending epoch must not leak into the next one.
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.retired_dropped = 0;
 }
 
 std::uint64_t trace_dropped() {

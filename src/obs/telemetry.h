@@ -79,6 +79,24 @@ std::int64_t now_ns() noexcept;
 /// and reused.
 const char* intern(std::string_view text);
 
+// ------------------------------------------------------- cardinality cap
+
+/// Cap on *distinct metric names per kind*. Registration of a new name
+/// past the cap is redirected to that kind's overflow bin
+/// ("telemetry.capped.counter" / ".gauge" / ".histogram" — created on the
+/// first capped registration, allowed past the cap) and counted in
+/// capped_registrations(). Existing names always resolve to their own
+/// metric. This bounds the snapshot of fleet-scale runs: a harness that
+/// keys names per edge ("sim.edge.<i>.x") cannot grow the registry, and
+/// therefore every shard and the snapshot, by O(num_edges) at 10k edges.
+/// Default: 4096 per kind.
+void set_metric_capacity(std::size_t max_names_per_kind);
+std::size_t metric_capacity();
+
+/// Registrations redirected to an overflow bin since process start (never
+/// reset by reset() — it certifies whether a run stayed under the cap).
+std::uint64_t capped_registrations();
+
 // ---------------------------------------------------------------- snapshot
 
 struct CounterValue {

@@ -7,6 +7,7 @@
 #include "bandit/random_policy.h"
 #include "bandit/tsallis_inf.h"
 #include "bandit/ucb2.h"
+#include "core/blocked_tsallis_fleet.h"
 #include "core/blocked_tsallis_inf.h"
 #include "core/carbon_trader.h"
 #include "core/regret.h"
@@ -21,7 +22,8 @@ namespace cea::sim {
 
 AlgorithmCombo ours_combo() {
   return {"Ours", core::BlockedTsallisInfPolicy::factory(),
-          core::OnlineCarbonTrader::factory()};
+          core::OnlineCarbonTrader::factory(),
+          core::BlockedTsallisFleetPolicy::factory()};
 }
 
 std::vector<AlgorithmCombo> baseline_combos() {
@@ -61,10 +63,48 @@ std::vector<AlgorithmCombo> all_combos() {
   return combos;
 }
 
+namespace {
+
+RunResult run_combo_with(const Environment& env, const AlgorithmCombo& combo,
+                         std::uint64_t run_seed, const SimOptions& options) {
+  Simulator simulator(env, options);
+  if (combo.fleet_policy) {
+    return simulator.run_fleet(combo.fleet_policy, combo.trader, run_seed,
+                               combo.name);
+  }
+  return simulator.run(combo.policy, combo.trader, run_seed, combo.name);
+}
+
+}  // namespace
+
 RunResult run_combo(const Environment& env, const AlgorithmCombo& combo,
                     std::uint64_t run_seed) {
-  Simulator simulator(env);
-  return simulator.run(combo.policy, combo.trader, run_seed, combo.name);
+  return run_combo_with(env, combo, run_seed, SimOptions{});
+}
+
+RunResult run_combo_pooled(const Environment& env, const AlgorithmCombo& combo,
+                           std::uint64_t run_seed, util::ThreadPool* pool,
+                           std::size_t edge_shard_grain) {
+  SimOptions options;
+  options.pool = pool;
+  options.edge_shard_grain = edge_shard_grain;
+  return run_combo_with(env, combo, run_seed, options);
+}
+
+RunResult run_combo_averaged_pooled(const Environment& env,
+                                    const AlgorithmCombo& combo,
+                                    std::size_t num_runs,
+                                    std::uint64_t base_seed,
+                                    util::ThreadPool* pool,
+                                    std::size_t edge_shard_grain) {
+  assert(num_runs > 0);
+  std::vector<RunResult> runs;
+  runs.reserve(num_runs);
+  for (std::size_t r = 0; r < num_runs; ++r) {
+    runs.push_back(run_combo_pooled(env, combo, base_seed + 1 + r, pool,
+                                    edge_shard_grain));
+  }
+  return average_runs(runs);
 }
 
 RunResult run_combo_averaged(const Environment& env,

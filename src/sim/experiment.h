@@ -3,10 +3,12 @@
 #include <string>
 #include <vector>
 
+#include "bandit/fleet_policy.h"
 #include "bandit/policy.h"
 #include "sim/environment.h"
 #include "sim/metrics.h"
 #include "trading/trader.h"
+#include "util/thread_pool.h"
 
 namespace cea::sim {
 
@@ -15,6 +17,11 @@ struct AlgorithmCombo {
   std::string name;
   bandit::PolicyFactory policy;
   trading::TraderFactory trader;
+  /// Optional SoA-native fleet implementation of `policy`, bit-identical
+  /// to it by contract (e.g. core::BlockedTsallisFleetPolicy). When set,
+  /// the runners below go through Simulator::run_fleet — one object for
+  /// the whole fleet instead of num_edges policy instances.
+  bandit::FleetPolicyFactory fleet_policy;
 };
 
 /// The paper's approach: Algorithm 1 + Algorithm 2.
@@ -47,6 +54,26 @@ RunResult run_combo_averaged_parallel(const Environment& env,
                                       std::size_t num_runs,
                                       std::uint64_t base_seed,
                                       std::size_t threads = 0);
+
+/// Run one combo once on the pooled edge-sharded engine: the per-edge work
+/// of every slot fans out over `pool` in contiguous shards of
+/// `edge_shard_grain` edges (0 = auto). Bit-identical to run_combo() for
+/// any pool width and grain — this is how the large-fleet sweeps (fig04 at
+/// 1k edges, bench/perf_fleet at 10k) parallelize *within* a run instead
+/// of across runs.
+RunResult run_combo_pooled(const Environment& env, const AlgorithmCombo& combo,
+                           std::uint64_t run_seed, util::ThreadPool* pool,
+                           std::size_t edge_shard_grain = 0);
+
+/// run_combo_pooled averaged over num_runs seeds (base_seed+1..), runs
+/// executed sequentially so each one owns the full pool width. Seeds match
+/// run_combo_averaged, so the averaged result is bit-identical to it.
+RunResult run_combo_averaged_pooled(const Environment& env,
+                                    const AlgorithmCombo& combo,
+                                    std::size_t num_runs,
+                                    std::uint64_t base_seed,
+                                    util::ThreadPool* pool,
+                                    std::size_t edge_shard_grain = 0);
 
 /// The Offline reference: per-edge best model at hindsight (minimum
 /// E[l_n] + v_{i,n}) held for the whole horizon, with carbon trading solved

@@ -111,6 +111,10 @@ RunResult average_runs(const std::vector<RunResult>& runs) {
   }
   avg.total_switches =
       static_cast<std::size_t>(std::llround(switches * inv));
+  // Overflows are a certification, not a statistic: any overflow in any of
+  // the averaged runs must survive the average, so sum instead of rounding.
+  avg.arena_overflows = 0;
+  for (const auto& run : runs) avg.arena_overflows += run.arena_overflows;
   return avg;
 }
 

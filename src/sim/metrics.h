@@ -28,6 +28,11 @@ struct RunResult {
   double carbon_cap = 0.0;        ///< R of the scenario
   double settlement_price = 0.0;  ///< penalty price per uncovered unit
 
+  /// Heap allocations that escaped the run's arena reservations (see
+  /// sim/fleet_state.h). 0 certifies the slot path ran allocation-free;
+  /// bench/perf_fleet and the fleet tests gate on it.
+  std::size_t arena_overflows = 0;
+
   std::size_t horizon() const noexcept { return inference_cost.size(); }
 
   /// Per-slot total cost (objective (1) increments).

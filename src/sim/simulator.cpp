@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <memory>
 
 #include "obs/telemetry.h"
 #include "opt/tsallis_batch.h"
+#include "sim/fleet_state.h"
 #include "util/check.h"
 
 namespace cea::sim {
@@ -29,9 +31,25 @@ bandit::PolicyContext Simulator::policy_context(std::size_t edge,
   context.energy_per_sample.reserve(env_.num_models());
   for (const auto& model : env_.models())
     context.energy_per_sample.push_back(model.energy_per_sample);
-  context.seed = run_seed * 0x9E3779B97F4A7C15ULL + edge + 1;
+  context.seed = bandit::policy_stream_seed(run_seed, edge);
   context.horizon = env_.horizon();
   context.edge = edge;
+  return context;
+}
+
+bandit::FleetPolicyContext Simulator::fleet_policy_context(
+    std::uint64_t run_seed) const {
+  bandit::FleetPolicyContext context;
+  context.num_edges = env_.num_edges();
+  context.num_models = env_.num_models();
+  context.horizon = env_.horizon();
+  context.run_seed = run_seed;
+  context.energy_per_sample.reserve(env_.num_models());
+  for (const auto& model : env_.models())
+    context.energy_per_sample.push_back(model.energy_per_sample);
+  context.switching_cost.reserve(env_.num_edges());
+  for (std::size_t i = 0; i < env_.num_edges(); ++i)
+    context.switching_cost.push_back(env_.switching_cost(i));
   return context;
 }
 
@@ -39,12 +57,20 @@ RunResult Simulator::run(const bandit::PolicyFactory& policy_factory,
                          const trading::TraderFactory& trader_factory,
                          std::uint64_t run_seed,
                          std::string algorithm_name) const {
-  std::vector<std::unique_ptr<bandit::ModelSelectionPolicy>> policies;
-  policies.reserve(env_.num_edges());
-  for (std::size_t i = 0; i < env_.num_edges(); ++i) {
-    policies.push_back(policy_factory(policy_context(i, run_seed)));
-  }
-  return run_impl(std::move(policies), trader_factory, run_seed,
+  auto fleet = std::make_unique<bandit::PerEdgeFleetAdapter>(
+      policy_factory, fleet_policy_context(run_seed));
+  return run_impl(std::move(fleet), trader_factory, run_seed,
+                  std::move(algorithm_name), /*fixed_choices=*/false,
+                  nullptr);
+}
+
+RunResult Simulator::run_fleet(const bandit::FleetPolicyFactory& fleet_factory,
+                               const trading::TraderFactory& trader_factory,
+                               std::uint64_t run_seed,
+                               std::string algorithm_name) const {
+  auto fleet = fleet_factory(fleet_policy_context(run_seed));
+  assert(fleet != nullptr && fleet->num_edges() == env_.num_edges());
+  return run_impl(std::move(fleet), trader_factory, run_seed,
                   std::move(algorithm_name), /*fixed_choices=*/false,
                   nullptr);
 }
@@ -54,29 +80,13 @@ RunResult Simulator::run_fixed(const std::vector<std::size_t>& model_per_edge,
                                std::uint64_t run_seed,
                                std::string algorithm_name) const {
   assert(model_per_edge.size() == env_.num_edges());
-  return run_impl({}, trader_factory, run_seed, std::move(algorithm_name),
+  return run_impl(nullptr, trader_factory, run_seed,
+                  std::move(algorithm_name),
                   /*fixed_choices=*/true, &model_per_edge);
 }
 
-namespace {
-
-/// Everything one edge contributes to a slot. Written by the (possibly
-/// parallel) per-edge tasks into index-addressed slots, then reduced
-/// serially in edge order so the accumulation is order-independent.
-struct EdgePartial {
-  double inference_cost = 0.0;
-  double switching_cost = 0.0;
-  double energy_kwh = 0.0;
-  double weighted_correct = 0.0;
-  double samples = 0.0;
-  std::size_t model = 0;
-  bool switched = false;
-};
-
-}  // namespace
-
 RunResult Simulator::run_impl(
-    std::vector<std::unique_ptr<bandit::ModelSelectionPolicy>> policies,
+    std::unique_ptr<bandit::FleetPolicy> fleet,
     const trading::TraderFactory& trader_factory, std::uint64_t run_seed,
     std::string algorithm_name, bool fixed_choices,
     const std::vector<std::size_t>* fixed_models) const {
@@ -107,33 +117,28 @@ RunResult Simulator::run_impl(
   result.settlement_price = config.settlement_penalty_multiplier *
                             env_.prices().buy.back();
 
-  // Hoisted slot invariants (SoA): one cache-friendly flat array per
-  // quantity instead of a ModelInfo/virtual-call chase in the hot loop.
-  std::vector<double> energy_per_sample(num_models);
-  std::vector<double> mean_loss(num_models);
-  std::vector<const data::LossProfile*> profiles(num_models);
-  std::vector<std::size_t> shift_target(num_models);
-  for (std::size_t n = 0; n < num_models; ++n) {
-    energy_per_sample[n] = env_.models()[n].energy_per_sample;
-    mean_loss[n] = env_.models()[n].profile.mean_loss();
-    profiles[n] = &env_.models()[n].profile;
-    shift_target[n] = env_.shift_target(n);
-  }
-  std::vector<double> edge_switch_cost(num_edges);
-  std::vector<double> comp_cost(num_edges * num_models);
-  std::vector<double> transfer_energy(num_edges * num_models);
-  std::vector<const int*> edge_workload(num_edges);
-  for (std::size_t i = 0; i < num_edges; ++i) {
-    edge_switch_cost[i] = env_.switching_cost(i);
-    edge_workload[i] = env_.workload()[i].data();
-    for (std::size_t n = 0; n < num_models; ++n) {
-      comp_cost[i * num_models + n] = env_.computation_cost(i, n);
-      transfer_energy[i * num_models + n] = env_.transfer_energy(i, n);
-    }
-  }
+  // All per-edge hot state — hoisted slot invariants, hosted model, slot
+  // partials — as flat SoA arrays carved from one arena reservation (see
+  // sim/fleet_state.h). Nothing on the slot path below allocates;
+  // state.arena_overflows() certifies it.
+  FleetState state(env_);
+  const double* energy_per_sample = state.energy_per_sample();
+  const double* mean_loss = state.mean_loss();
+  const data::LossProfile* const* profiles = state.profiles();
+  const std::uint32_t* shift_target = state.shift_target();
+  const double* edge_switch_cost = state.edge_switch_cost();
+  const double* comp_cost = state.comp_cost();
+  const double* transfer_energy = state.transfer_energy();
+  const int* const* edge_workload = state.edge_workload();
+  std::uint32_t* previous_model = state.previous_model();
+  double* part_inference = state.part_inference();
+  double* part_switch_cost = state.part_switch_cost();
+  double* part_energy = state.part_energy();
+  double* part_correct = state.part_correct();
+  double* part_samples = state.part_samples();
+  std::uint32_t* part_model = state.part_model();
+  std::uint8_t* part_switched = state.part_switched();
 
-  std::vector<std::size_t> previous_model(num_edges, SIZE_MAX);
-  std::vector<EdgePartial> partials(num_edges);
   // Allowance balance R + sum(z - w - e); sales are clamped so it cannot go
   // negative through selling (see SimConfig::clamp_sales_to_holdings).
   double allowance_balance = config.carbon_cap;
@@ -147,45 +152,163 @@ RunResult Simulator::run_impl(
   const bool per_sample = options_.per_sample_draws;
   util::ThreadPool* pool = per_sample ? nullptr : options_.pool;
 
-  // Cross-edge batched OMD solving: policies that expose their next
-  // Tsallis solve (TsallisBatchSolvable) get it solved in one SIMD batch
-  // at the start of each slot, before the (possibly parallel) edge
+  // Cross-edge batched OMD solving: fleet policies that expose their next
+  // Tsallis solve (next_solve/accept_presolve) get it solved in one SIMD
+  // batch at the start of each slot, before the (possibly parallel) edge
   // fan-out. Safe because a pending solve's inputs are frozen by the
   // edge's own previous feedback, and bit-identical because the batch
   // solver reproduces the scalar oracle exactly.
-  std::vector<bandit::TsallisBatchSolvable*> batchable;
-  bool any_batchable = false;
-  if (options_.cross_edge_batch_solve && !fixed_choices) {
-    batchable.resize(num_edges, nullptr);
-    for (std::size_t i = 0; i < num_edges; ++i) {
-      batchable[i] = dynamic_cast<bandit::TsallisBatchSolvable*>(
-          policies[i].get());
-      any_batchable = any_batchable || batchable[i] != nullptr;
-    }
-  }
+  const bool any_batchable = options_.cross_edge_batch_solve &&
+                             !fixed_choices && fleet != nullptr &&
+                             fleet->supports_batch_solve();
   TsallisBatchSolver batch_solver;
-  std::vector<std::size_t> batch_edges;  // edge of each pushed request
 
-  for (std::size_t t = 0; t < horizon; ++t) {
+  // Slot-scoped values shared with the hoisted edge task below. Assigned
+  // once per slot before the fan-out; read-only inside it. Hoisting them
+  // (and the task closures) out of the time loop keeps the slot path free
+  // of std::function construction.
+  std::size_t t = 0;
+  bool shifted = false;
+#if defined(CEA_TELEMETRY)
+  // Per-edge phase split (bandit select+feedback vs sample draws) is
+  // too hot to time unconditionally — several clock reads per edge per
+  // slot — so it rides behind the detail switch the --telemetry
+  // harness flips on. Read once per slot, shared read-only with the
+  // pool workers. Timestamps never feed control flow.
+  bool obs_detail = false;
+#endif
+
+  // Per-edge work: model selection, batched loss sampling, bandit
+  // feedback. Touches only state indexed by the edge (its fleet-policy
+  // slot, its previous model, its SoA partial lane), so it is safe to fan
+  // out under the one-writer-per-shard contract.
+  auto edge_task = [&](std::size_t i) {
+#if defined(CEA_TELEMETRY)
+    std::int64_t obs_t0 = obs_detail ? obs::now_ns() : 0;
+    double obs_bandit_ns = 0.0;
+#endif
+    const std::size_t model =
+        fixed_choices ? (*fixed_models)[i] : fleet->select(i, t);
+#if defined(CEA_TELEMETRY)
+    if (obs_detail) {
+      const std::int64_t now = obs::now_ns();
+      obs_bandit_ns += static_cast<double>(now - obs_t0);
+      obs_t0 = now;
+    }
+#endif
+    const std::size_t loss_model = shifted ? shift_target[model] : model;
+    // The initial download (previous_model == kNoModel) costs transfer
+    // energy but is not a "switch": the paper charges y_i^t u_i only when
+    // a *hosted* model is replaced, while every model placement — initial
+    // or not — moves bytes and therefore energy.
+    const bool first_slot = previous_model[i] == FleetState::kNoModel;
+    const bool switched = !first_slot && model != previous_model[i];
+    double switch_cost = 0.0;
+    double energy_kwh = 0.0;
+    if (switched) switch_cost = edge_switch_cost[i];
+    if (switched || first_slot)
+      energy_kwh += transfer_energy[i * num_models + model];
+    previous_model[i] = static_cast<std::uint32_t>(model);
+    part_model[i] = static_cast<std::uint32_t>(model);
+    part_switched[i] = switched ? 1 : 0;
+    CEA_CHECK(t > 0 || !switched, "simulator.first_slot_switch", i, t,
+              static_cast<double>(model),
+              "edge charged a switch at t=0 (initial download)");
+
+    const auto samples = static_cast<std::size_t>(edge_workload[i][t]);
+    const std::size_t draws =
+        config.loss_draw_cap == 0
+            ? samples
+            : std::min<std::size_t>(samples, config.loss_draw_cap);
+
+    data::LossBatch batch;
+    if (per_sample) {
+      for (std::size_t d = 0; d < draws; ++d) {
+        const data::LossDraw draw =
+            profiles[loss_model]->draw(shared_draw_rng);
+        batch.loss_sum += draw.loss;
+        batch.correct_count += draw.correct ? 1 : 0;
+      }
+    } else {
+      // Keyed directly by the (edge, slot) stream seed: no generator
+      // construction on the hot path, same pure-function-of-(seed, i, t)
+      // determinism contract.
+      batch = profiles[loss_model]->draw_batch_keyed(
+          stream_seed(draw_seed, i, t), draws);
+    }
+    const double mean_sampled_loss =
+        draws > 0 ? batch.loss_sum / static_cast<double>(draws) : 0.0;
+    const double sample_accuracy =
+        draws > 0 ? static_cast<double>(batch.correct_count) /
+                        static_cast<double>(draws)
+                  : 0.0;
+#if defined(CEA_TELEMETRY)
+    if (obs_detail) {
+      static const obs::MetricId obs_draws = obs::counter("sim.draws");
+      obs::add(obs_draws, static_cast<double>(draws));
+      static const obs::MetricId obs_draw_hist =
+          obs::duration_histogram("sim.edge.draw");
+      const std::int64_t now = obs::now_ns();
+      obs::observe(obs_draw_hist, static_cast<double>(now - obs_t0));
+      obs_t0 = now;
+    }
+#endif
+
+    // Bandit feedback: L_{i,J}^t + v_{i,J} (Insight 2).
+    if (!fixed_choices) {
+      fleet->feedback(
+          i, t, model, mean_sampled_loss + comp_cost[i * num_models + model]);
+    }
+#if defined(CEA_TELEMETRY)
+    if (obs_detail) {
+      static const obs::MetricId obs_bandit_hist =
+          obs::duration_histogram("sim.edge.bandit");
+      obs_bandit_ns += static_cast<double>(obs::now_ns() - obs_t0);
+      obs::observe(obs_bandit_hist, obs_bandit_ns);
+    }
+#endif
+
+    // Objective (1) charges the expectation E[l_n] + v_{i,n}.
+    part_inference[i] =
+        mean_loss[loss_model] + comp_cost[i * num_models + model];
+    energy_kwh += energy_per_sample[model] * static_cast<double>(samples);
+    part_switch_cost[i] = switch_cost;
+    part_energy[i] = energy_kwh;
+    part_correct[i] = sample_accuracy * static_cast<double>(samples);
+    part_samples[i] = static_cast<double>(samples);
+  };
+  // One contiguous shard per claim (see SimOptions::edge_shard_grain);
+  // hoisted so no std::function is materialized per slot.
+  const std::function<void(std::size_t, std::size_t)> shard_task =
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) edge_task(i);
+      };
+
+  for (t = 0; t < horizon; ++t) {
     CEA_SPAN("sim.slot");
     if (any_batchable) {
       CEA_SPAN_DETAIL("sim.presolve");
       batch_solver.clear();
-      batch_edges.clear();
+      // Slot-transient edge list from the slot arena — reset per slot,
+      // reserved once at FleetState construction.
+      state.slot_arena().reset();
+      std::uint32_t* batch_edges =
+          state.slot_arena().alloc_array<std::uint32_t>(num_edges);
+      std::size_t batch_count = 0;
       bandit::TsallisSolveRequest request;
       for (std::size_t i = 0; i < num_edges; ++i) {
-        if (batchable[i] != nullptr && batchable[i]->next_solve(request)) {
+        if (fleet->next_solve(i, request)) {
           batch_solver.push(request.cumulative_losses, request.eta,
                             request.scaled_lambda_warm);
-          batch_edges.push_back(i);
+          batch_edges[batch_count++] = static_cast<std::uint32_t>(i);
         }
       }
-      if (!batch_edges.empty()) {
+      if (batch_count != 0) {
         batch_solver.solve();
-        for (std::size_t j = 0; j < batch_edges.size(); ++j) {
-          batchable[batch_edges[j]]->accept_presolve(
-              batch_solver.probabilities(j),
-              batch_solver.scaled_lambda_warm(j));
+        for (std::size_t j = 0; j < batch_count; ++j) {
+          fleet->accept_presolve(batch_edges[j],
+                                 batch_solver.probabilities(j),
+                                 batch_solver.scaled_lambda_warm(j));
         }
       }
     }
@@ -203,128 +326,24 @@ RunResult Simulator::run_impl(
 
     // Concept drift (SimConfig::loss_shift_slot): the loss distribution a
     // hosted model produces flips to its mirror after the shift slot.
-    const bool shifted =
-        config.loss_shift_slot > 0 && t >= config.loss_shift_slot;
+    shifted = config.loss_shift_slot > 0 && t >= config.loss_shift_slot;
 
 #if defined(CEA_TELEMETRY)
-    // Per-edge phase split (bandit select+feedback vs sample draws) is
-    // too hot to time unconditionally — several clock reads per edge per
-    // slot — so it rides behind the detail switch the --telemetry
-    // harness flips on. Read once per slot, shared read-only with the
-    // pool workers. Timestamps never feed control flow.
-    const bool obs_detail = obs::detail_enabled();
+    obs_detail = obs::detail_enabled();
 #endif
-
-    // Per-edge work: model selection, batched loss sampling, bandit
-    // feedback. Touches only state indexed by the edge (its policy, its
-    // previous model, its partial slot), so it is safe to fan out.
-    auto edge_task = [&](std::size_t i) {
-      EdgePartial& part = partials[i];
-      part = EdgePartial{};
-#if defined(CEA_TELEMETRY)
-      std::int64_t obs_t0 = obs_detail ? obs::now_ns() : 0;
-      double obs_bandit_ns = 0.0;
-#endif
-      const std::size_t model =
-          fixed_choices ? (*fixed_models)[i] : policies[i]->select(t);
-#if defined(CEA_TELEMETRY)
-      if (obs_detail) {
-        const std::int64_t now = obs::now_ns();
-        obs_bandit_ns += static_cast<double>(now - obs_t0);
-        obs_t0 = now;
-      }
-#endif
-      const std::size_t loss_model = shifted ? shift_target[model] : model;
-      // The initial download (previous_model == SIZE_MAX) costs transfer
-      // energy but is not a "switch": the paper charges y_i^t u_i only when
-      // a *hosted* model is replaced, while every model placement — initial
-      // or not — moves bytes and therefore energy.
-      const bool first_slot = previous_model[i] == SIZE_MAX;
-      const bool switched = !first_slot && model != previous_model[i];
-      if (switched) part.switching_cost = edge_switch_cost[i];
-      if (switched || first_slot)
-        part.energy_kwh += transfer_energy[i * num_models + model];
-      previous_model[i] = model;
-      part.model = model;
-      part.switched = switched;
-      CEA_CHECK(t > 0 || !switched, "simulator.first_slot_switch", i, t,
-                static_cast<double>(model),
-                "edge charged a switch at t=0 (initial download)");
-
-      const auto samples = static_cast<std::size_t>(edge_workload[i][t]);
-      const std::size_t draws =
-          config.loss_draw_cap == 0
-              ? samples
-              : std::min<std::size_t>(samples, config.loss_draw_cap);
-
-      data::LossBatch batch;
-      if (per_sample) {
-        for (std::size_t d = 0; d < draws; ++d) {
-          const data::LossDraw draw =
-              profiles[loss_model]->draw(shared_draw_rng);
-          batch.loss_sum += draw.loss;
-          batch.correct_count += draw.correct ? 1 : 0;
-        }
-      } else {
-        // Keyed directly by the (edge, slot) stream seed: no generator
-        // construction on the hot path, same pure-function-of-(seed, i, t)
-        // determinism contract.
-        batch = profiles[loss_model]->draw_batch_keyed(
-            stream_seed(draw_seed, i, t), draws);
-      }
-      const double mean_sampled_loss =
-          draws > 0 ? batch.loss_sum / static_cast<double>(draws) : 0.0;
-      const double sample_accuracy =
-          draws > 0 ? static_cast<double>(batch.correct_count) /
-                          static_cast<double>(draws)
-                    : 0.0;
-#if defined(CEA_TELEMETRY)
-      if (obs_detail) {
-        static const obs::MetricId obs_draws = obs::counter("sim.draws");
-        obs::add(obs_draws, static_cast<double>(draws));
-        static const obs::MetricId obs_draw_hist =
-            obs::duration_histogram("sim.edge.draw");
-        const std::int64_t now = obs::now_ns();
-        obs::observe(obs_draw_hist, static_cast<double>(now - obs_t0));
-        obs_t0 = now;
-      }
-#endif
-
-      // Bandit feedback: L_{i,J}^t + v_{i,J} (Insight 2).
-      if (!fixed_choices) {
-        policies[i]->feedback(
-            t, model, mean_sampled_loss + comp_cost[i * num_models + model]);
-      }
-#if defined(CEA_TELEMETRY)
-      if (obs_detail) {
-        static const obs::MetricId obs_bandit_hist =
-            obs::duration_histogram("sim.edge.bandit");
-        obs_bandit_ns += static_cast<double>(obs::now_ns() - obs_t0);
-        obs::observe(obs_bandit_hist, obs_bandit_ns);
-      }
-#endif
-
-      // Objective (1) charges the expectation E[l_n] + v_{i,n}.
-      part.inference_cost =
-          mean_loss[loss_model] + comp_cost[i * num_models + model];
-      part.energy_kwh +=
-          energy_per_sample[model] * static_cast<double>(samples);
-      part.weighted_correct =
-          sample_accuracy * static_cast<double>(samples);
-      part.samples = static_cast<double>(samples);
-    };
 
     {
       CEA_SPAN_DETAIL("sim.edges");
       if (pool != nullptr) {
-        pool->parallel_for(num_edges, edge_task);
+        pool->parallel_for_blocked(num_edges, options_.edge_shard_grain,
+                                   shard_task);
       } else {
         for (std::size_t i = 0; i < num_edges; ++i) edge_task(i);
       }
     }
 
     // Serial reduction in edge order: identical floating-point accumulation
-    // regardless of how the tasks above were scheduled.
+    // regardless of how the shards above were scheduled.
     double slot_energy_kwh = 0.0;
     double weighted_correct = 0.0;
     double slot_samples = 0.0;
@@ -334,19 +353,18 @@ RunResult Simulator::run_impl(
       double slot_switches = 0.0;
 #endif
       for (std::size_t i = 0; i < num_edges; ++i) {
-        const EdgePartial& part = partials[i];
-        result.inference_cost[t] += part.inference_cost;
-        result.switching_cost[t] += part.switching_cost;
-        if (part.switched) {
+        result.inference_cost[t] += part_inference[i];
+        result.switching_cost[t] += part_switch_cost[i];
+        if (part_switched[i]) {
           ++result.total_switches;
 #if defined(CEA_TELEMETRY)
           slot_switches += 1.0;
 #endif
         }
-        ++result.selection_counts[i][part.model];
-        slot_energy_kwh += part.energy_kwh;
-        weighted_correct += part.weighted_correct;
-        slot_samples += part.samples;
+        ++result.selection_counts[i][part_model[i]];
+        slot_energy_kwh += part_energy[i];
+        weighted_correct += part_correct[i];
+        slot_samples += part_samples[i];
       }
 #if defined(CEA_TELEMETRY)
       if (obs_detail) {
@@ -396,7 +414,7 @@ RunResult Simulator::run_impl(
       // re-summed from the per-edge partials in the same reduction order.
       double audit_energy = 0.0;
       for (std::size_t i = 0; i < num_edges; ++i)
-        audit_energy += partials[i].energy_kwh;
+        audit_energy += part_energy[i];
       CEA_CHECK(emission == config.emission_rate * audit_energy &&
                     std::isfinite(emission) && emission >= 0.0,
                 "simulator.emission_identity", audit::kNoIndex, t, emission,
@@ -424,6 +442,9 @@ RunResult Simulator::run_impl(
       trader->feedback(t, emission, quote, trade);
     }
   }
+  // Zero in steady state (bench/perf_fleet and tests/sim/test_fleet gate
+  // on it): both arenas were reserved for their worst case up front.
+  result.arena_overflows = state.arena_overflows();
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "bandit/fleet_policy.h"
 #include "bandit/policy.h"
 #include "sim/environment.h"
 #include "sim/metrics.h"
@@ -19,9 +20,9 @@ struct SimOptions {
   /// pool. Results are bit-identical to pool == nullptr for any thread
   /// count: loss draws are keyed by (run_seed, edge, t) and per-edge
   /// partials are reduced serially in edge order. Requires policies whose
-  /// per-edge instances are independent (true of all built-in policies
-  /// except the pooled-learning extension, which shares state across
-  /// edges and must run serially).
+  /// per-edge state is independent (true of all built-in policies except
+  /// the pooled-learning extension, which shares state across edges and
+  /// must run serially).
   util::ThreadPool* pool = nullptr;
 
   /// Reference mode reproducing the original engine's cost profile: one
@@ -31,14 +32,22 @@ struct SimOptions {
   bool per_sample_draws = false;
 
   /// Gather the slot's pending Tsallis-INF OMD solves across all edges
-  /// (policies implementing bandit::TsallisBatchSolvable) into one
-  /// TsallisBatchSolver call — SIMD lanes across edges — before the edge
-  /// fan-out. Bit-identical to per-edge solving for any engine mode (the
-  /// batch solver reproduces the scalar oracle exactly; see
-  /// opt/tsallis_batch.h), so this is purely a performance switch; off
-  /// reproduces the historical per-edge call sites, which
-  /// bench/perf_solver measures against.
+  /// (policies implementing bandit::TsallisBatchSolvable, or fleet
+  /// policies overriding next_solve) into one TsallisBatchSolver call —
+  /// SIMD lanes across edges — before the edge fan-out. Bit-identical to
+  /// per-edge solving for any engine mode (the batch solver reproduces the
+  /// scalar oracle exactly; see opt/tsallis_batch.h), so this is purely a
+  /// performance switch; off reproduces the historical per-edge call
+  /// sites, which bench/perf_solver measures against.
   bool cross_edge_batch_solve = true;
+
+  /// Edges per shard of the pooled fan-out (0 = auto). Each shard is a
+  /// contiguous [begin, end) range claimed with ONE atomic operation and
+  /// written by exactly one worker — at 10k edges x 160 slots the
+  /// per-index claim of a plain parallel_for would be 1.6M atomic RMWs per
+  /// run. Purely a scheduling knob: results are bit-identical for every
+  /// grain (the reduction stays serial in edge order).
+  std::size_t edge_shard_grain = 0;
 };
 
 /// Drives the per-slot workflow of Fig. 2 over a scenario: per edge select
@@ -51,23 +60,35 @@ struct SimOptions {
 /// mirroring the paper, where the objective is an expectation but feedback
 /// is a sample.
 ///
-/// Engine: loss sampling is batched (LossProfile::draw_batch) with one RNG
-/// stream per (edge, slot) derived from the run seed, and per-slot
-/// invariants (energy, computation cost, mean loss) are hoisted into flat
-/// arrays before the time loop. Sampling is therefore a pure function of
-/// (run_seed, edge, t), which makes the optional per-edge parallel mode
-/// (SimOptions::pool) bit-identical to the serial one.
+/// Engine: all per-edge hot state (hoisted environment invariants, hosted
+/// model, per-slot partials) lives in an arena-backed structure-of-arrays
+/// FleetState reserved once per run, and model selection goes through a
+/// single bandit::FleetPolicy — either an SoA-native fleet (run_fleet) or
+/// per-edge policy instances behind bandit::PerEdgeFleetAdapter (run).
+/// Loss sampling is batched (LossProfile::draw_batch_keyed) with one RNG
+/// stream per (edge, slot) derived from the run seed, so sampling is a
+/// pure function of (run_seed, edge, t) and the pooled edge-sharded mode
+/// (SimOptions::pool) is bit-identical to the serial one.
 class Simulator {
  public:
   explicit Simulator(const Environment& environment, SimOptions options = {})
       : env_(environment), options_(options) {}
 
-  /// Run one full horizon with fresh policy instances.
-  /// `run_seed` controls the run's stochasticity (policy sampling and loss
-  /// draws) independently of the environment seed.
+  /// Run one full horizon with fresh per-edge policy instances (wrapped in
+  /// a PerEdgeFleetAdapter). `run_seed` controls the run's stochasticity
+  /// (policy sampling and loss draws) independently of the environment
+  /// seed.
   RunResult run(const bandit::PolicyFactory& policy_factory,
                 const trading::TraderFactory& trader_factory,
                 std::uint64_t run_seed, std::string algorithm_name) const;
+
+  /// Run one full horizon with a fresh fleet policy — the SoA-native path
+  /// (e.g. core::BlockedTsallisFleetPolicy). Bit-identical to run() when
+  /// the fleet policy mirrors the per-edge policy's computation.
+  RunResult run_fleet(const bandit::FleetPolicyFactory& fleet_factory,
+                      const trading::TraderFactory& trader_factory,
+                      std::uint64_t run_seed,
+                      std::string algorithm_name) const;
 
   /// Run with fixed per-edge model choices (no learning) — used by the
   /// Offline reference and by ablations. The initial download at t=0 is
@@ -85,9 +106,14 @@ class Simulator {
   bandit::PolicyContext policy_context(std::size_t edge,
                                        std::uint64_t run_seed) const;
 
+  /// Build the FleetPolicyContext for the whole fleet. Per-edge seeds are
+  /// derived from run_seed via bandit::policy_stream_seed, matching
+  /// policy_context(edge, run_seed).seed exactly.
+  bandit::FleetPolicyContext fleet_policy_context(
+      std::uint64_t run_seed) const;
+
  private:
-  RunResult run_impl(std::vector<std::unique_ptr<bandit::ModelSelectionPolicy>>
-                         policies,
+  RunResult run_impl(std::unique_ptr<bandit::FleetPolicy> fleet,
                      const trading::TraderFactory& trader_factory,
                      std::uint64_t run_seed, std::string algorithm_name,
                      bool fixed_choices,

@@ -177,6 +177,25 @@ void ThreadPool::parallel_for(std::size_t n,
   job_fn_.store(nullptr, std::memory_order_relaxed);
 }
 
+void ThreadPool::parallel_for_blocked(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) {
+    const std::size_t participants = workers_.size() + 1;
+    grain = std::max<std::size_t>(1, n / (4 * participants));
+  }
+  if (grain >= n) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t shards = (n + grain - 1) / grain;
+  parallel_for(shards, [&](std::size_t shard) {
+    const std::size_t begin = shard * grain;
+    fn(begin, std::min(begin + grain, n));
+  });
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
     if (const char* env = std::getenv("CEA_BENCH_THREADS")) {

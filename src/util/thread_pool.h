@@ -45,6 +45,21 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                     std::size_t max_concurrency = 0);
 
+  /// Sharded variant for fleets far wider than the pool: indices [0, n)
+  /// are cut into contiguous shards of `grain` indices (the last shard is
+  /// shorter) and fn(begin, end) is invoked once per shard. One claim per
+  /// *shard* instead of per index amortizes the atomic claim + dispatch
+  /// cost that dominates parallel_for when each index is cheap (a 10k-edge
+  /// slot is 10k tiny tasks but only ~n/grain claims here). The GEMM
+  /// layer's one-writer contract carries over: a shard's callback is the
+  /// only writer of state indexed by [begin, end), so any computation that
+  /// writes index-addressed results and reduces serially afterwards stays
+  /// bit-identical for every thread count and every grain. grain == 0
+  /// picks a default that spreads shards ~4 per participant.
+  void parallel_for_blocked(
+      std::size_t n, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Process-wide shared pool, created on first use. Sized by the
   /// CEA_BENCH_THREADS environment variable when set (>0), otherwise by
   /// hardware concurrency.

@@ -248,6 +248,49 @@ TEST_F(Telemetry, DetailSwitchTogglesButDefaultsOff) {
   EXPECT_FALSE(detail_enabled());
 }
 
+TEST_F(Telemetry, CardinalityCapRedirectsNewNamesToOverflowBin) {
+  if (!compiled_in()) return;
+  const std::size_t saved = metric_capacity();
+  // Names registered before the cap tightens must keep resolving to their
+  // own metric afterwards.
+  const MetricId existing = counter("test.cap.existing");
+  ASSERT_NE(existing, kInvalidMetric);
+
+  set_metric_capacity(1);  // registry already exceeds this
+  EXPECT_EQ(metric_capacity(), 1u);
+  const std::uint64_t capped_before = capped_registrations();
+
+  // Per-edge-keyed names — the fleet-scale pattern the cap exists for —
+  // all collapse onto one overflow bin instead of growing the registry.
+  const MetricId first = counter("test.cap.edge.0");
+  ASSERT_NE(first, kInvalidMetric);
+  for (int e = 1; e < 50; ++e) {
+    const std::string name = "test.cap.edge." + std::to_string(e);
+    EXPECT_EQ(counter(name), first);
+  }
+  EXPECT_GE(capped_registrations() - capped_before, 50u);
+  EXPECT_EQ(counter("test.cap.existing"), existing);
+  // The overflow bin itself is registered past the cap and accumulates.
+  EXPECT_EQ(counter("telemetry.capped.counter"), first);
+  add(first, 3.0);
+  const Snapshot snap = snapshot();
+  const auto* bin = find_counter(snap, "telemetry.capped.counter");
+  ASSERT_NE(bin, nullptr);
+  EXPECT_DOUBLE_EQ(bin->value, 3.0);
+
+  // Gauges and histograms cap independently, into their own bins. One
+  // filler registration per kind guarantees the kind is at the cap (the
+  // counter kind got there via the suite's earlier registrations).
+  (void)gauge("test.cap.gauge.filler");  // ensures the kind is at the cap
+  const MetricId gauge_bin = gauge("test.cap.gauge.overflowing");
+  EXPECT_EQ(gauge("telemetry.capped.gauge"), gauge_bin);
+  (void)duration_histogram("test.cap.histo.filler");
+  const MetricId histo_bin = duration_histogram("test.cap.histo.overflowing");
+  EXPECT_EQ(duration_histogram("telemetry.capped.histogram"), histo_bin);
+
+  set_metric_capacity(saved);
+}
+
 TEST_F(Telemetry, NowNsIsMonotonic) {
   const auto a = now_ns();
   const auto b = now_ns();

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 namespace cea::util {
@@ -68,6 +71,80 @@ TEST(ThreadPool, ConcurrencyCapStillCompletes) {
   pool.parallel_for(hits.size(),
                     [&](std::size_t i) { hits[i].fetch_add(1); },
                     /*max_concurrency=*/2);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// --- parallel_for_blocked (contiguous shards, one claim per shard) ------
+
+TEST(ThreadPoolBlocked, CoversEveryIndexExactlyOnceForAnyGrain) {
+  ThreadPool pool(4);
+  const std::size_t n = 1013;  // prime: exercises the short last shard
+  for (std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{256}, n, 2 * n}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for_blocked(n, grain, [&](std::size_t begin,
+                                            std::size_t end) {
+      ASSERT_LT(begin, end);
+      ASSERT_LE(end, n);
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPoolBlocked, ShardsAreContiguousAndGrainSized) {
+  ThreadPool pool(3);
+  const std::size_t n = 100, grain = 9;
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> shards;
+  pool.parallel_for_blocked(n, grain, [&](std::size_t begin,
+                                          std::size_t end) {
+    std::lock_guard<std::mutex> lock(mutex);
+    shards.emplace_back(begin, end);
+  });
+  std::sort(shards.begin(), shards.end());
+  std::size_t next = 0;
+  for (const auto& [begin, end] : shards) {
+    EXPECT_EQ(begin, next);  // contiguous, no gap or overlap
+    EXPECT_EQ(begin % grain, 0u);
+    EXPECT_LE(end - begin, grain);
+    next = end;
+  }
+  EXPECT_EQ(next, n);
+}
+
+TEST(ThreadPoolBlocked, EmptyRangeInvokesNothing) {
+  ThreadPool pool(2);
+  pool.parallel_for_blocked(0, 8, [](std::size_t, std::size_t) {
+    FAIL() << "no shards expected";
+  });
+}
+
+TEST(ThreadPoolBlocked, OneWriterPerShardMatchesSerial) {
+  // The engine's usage pattern: each shard is the only writer of its index
+  // range, results reduced after the call — identical to a serial loop.
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<double> out(n, 0.0);
+  pool.parallel_for_blocked(n, 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      out[i] = static_cast<double>(i) * 1.5 + 1.0;
+  });
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 1.5 + 1.0);
+}
+
+TEST(ThreadPoolBlocked, ReentrantBlockedCallRunsInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for_blocked(8, 2, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t outer = ob; outer < oe; ++outer) {
+      pool.parallel_for_blocked(8, 3, [&](std::size_t ib, std::size_t ie) {
+        for (std::size_t inner = ib; inner < ie; ++inner)
+          hits[outer * 8 + inner].fetch_add(1);
+      });
+    }
+  });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
