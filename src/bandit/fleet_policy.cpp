@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/state_io.h"
+
 namespace cea::bandit {
 
 PerEdgeFleetAdapter::PerEdgeFleetAdapter(const PolicyFactory& factory,
@@ -26,6 +28,35 @@ PerEdgeFleetAdapter::PerEdgeFleetAdapter(const PolicyFactory& factory,
 
 std::string PerEdgeFleetAdapter::name() const {
   return policies_.empty() ? "EmptyFleet" : policies_.front()->name();
+}
+
+bool PerEdgeFleetAdapter::save_state(util::StateWriter& writer) const {
+  if (!policies_.empty()) {
+    // Probe support on a scratch writer so an unsupported fleet leaves the
+    // real writer untouched (the interface contract).
+    util::StateWriter probe;
+    if (!policies_.front()->save_state(probe)) return false;
+  }
+  for (const auto& policy : policies_) {
+    if (!policy->save_state(writer)) {
+      throw util::StateError(
+          "PerEdgeFleetAdapter: mixed fleet — policy '" + policy->name() +
+          "' does not support checkpointing");
+    }
+  }
+  return true;
+}
+
+bool PerEdgeFleetAdapter::load_state(util::StateReader& reader) {
+  for (std::size_t edge = 0; edge < policies_.size(); ++edge) {
+    if (!policies_[edge]->load_state(reader)) {
+      if (edge == 0) return false;  // reader untouched by contract
+      throw util::StateError(
+          "PerEdgeFleetAdapter: mixed fleet — policy '" +
+          policies_[edge]->name() + "' does not support checkpointing");
+    }
+  }
+  return true;
 }
 
 FleetPolicyFactory adapt_per_edge(PolicyFactory factory) {

@@ -83,6 +83,19 @@ class FleetPolicy {
   virtual bool supports_batch_solve() const noexcept { return false; }
 
   virtual std::string name() const = 0;
+
+  /// Checkpoint support (util/state_io.h): serialize every edge's mutable
+  /// state such that load_state() on a freshly constructed fleet (same
+  /// FleetPolicyContext) continues bit-identically. Both return false when
+  /// unsupported (the default); the writer/reader must then be untouched.
+  virtual bool save_state(util::StateWriter& writer) const {
+    (void)writer;
+    return false;
+  }
+  virtual bool load_state(util::StateReader& reader) {
+    (void)reader;
+    return false;
+  }
 };
 
 using FleetPolicyFactory =
@@ -120,6 +133,14 @@ class PerEdgeFleetAdapter final : public FleetPolicy {
     return any_batchable_;
   }
   std::string name() const override;
+
+  /// Forwards to every wrapped per-edge policy in edge order. Supported
+  /// only when ALL wrapped policies support checkpointing — probed on the
+  /// first edge before anything is written, so an unsupported fleet leaves
+  /// the writer untouched (mixed fleets of partially-checkpointable
+  /// policies throw util::StateError mid-write instead).
+  bool save_state(util::StateWriter& writer) const override;
+  bool load_state(util::StateReader& reader) override;
 
   /// The wrapped per-edge instance (introspection for tests/benches).
   ModelSelectionPolicy& edge_policy(std::size_t edge) {

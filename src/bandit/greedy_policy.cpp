@@ -30,4 +30,12 @@ PolicyFactory GreedyEnergyPolicy::factory() {
   };
 }
 
+bool GreedyEnergyPolicy::save_state(util::StateWriter& /*writer*/) const {
+  return true;  // chosen_ is derived from the context at construction
+}
+
+bool GreedyEnergyPolicy::load_state(util::StateReader& /*reader*/) {
+  return true;
+}
+
 }  // namespace cea::bandit

@@ -15,6 +15,10 @@ class GreedyEnergyPolicy final : public ModelSelectionPolicy {
   void feedback(std::size_t t, std::size_t arm, double loss) override;
   std::string name() const override { return "Greedy"; }
 
+  /// Stateless after construction: checkpointing is trivially supported.
+  bool save_state(util::StateWriter& writer) const override;
+  bool load_state(util::StateReader& reader) override;
+
   static PolicyFactory factory();
 
  private:

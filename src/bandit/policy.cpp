@@ -1,5 +1,7 @@
 #include "bandit/policy.h"
 
+#include "util/state_io.h"
+
 namespace cea::bandit {
 
 std::size_t ArmStats::best_arm() const noexcept {
@@ -11,6 +13,19 @@ std::size_t ArmStats::best_arm() const noexcept {
     if (mean(arm) < mean(best)) best = arm;
   }
   return best;
+}
+
+void ArmStats::save_state(util::StateWriter& writer) const {
+  std::vector<std::uint64_t> counts(counts_.begin(), counts_.end());
+  writer.write_u64s("armstats.counts", counts);
+  writer.write_doubles("armstats.sums", sums_);
+}
+
+void ArmStats::load_state(util::StateReader& reader) {
+  const auto counts = reader.read_u64s("armstats.counts", counts_.size());
+  for (std::size_t arm = 0; arm < counts_.size(); ++arm)
+    counts_[arm] = static_cast<std::size_t>(counts[arm]);
+  sums_ = reader.read_doubles("armstats.sums", sums_.size());
 }
 
 }  // namespace cea::bandit

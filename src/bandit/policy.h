@@ -9,6 +9,11 @@
 
 #include "util/rng.h"
 
+namespace cea::util {
+class StateWriter;
+class StateReader;
+}  // namespace cea::util
+
 namespace cea::bandit {
 
 /// Static, per-edge information a model-selection policy may use.
@@ -42,6 +47,20 @@ class ModelSelectionPolicy {
   virtual void feedback(std::size_t t, std::size_t arm, double loss) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Checkpoint support (util/state_io.h): serialize the policy's full
+  /// mutable state such that load_state() on a freshly constructed policy
+  /// (same PolicyContext) continues bit-identically. Both return false when
+  /// the policy does not implement checkpointing (the default), in which
+  /// case the writer/reader must not have been touched.
+  virtual bool save_state(util::StateWriter& writer) const {
+    (void)writer;
+    return false;
+  }
+  virtual bool load_state(util::StateReader& reader) {
+    (void)reader;
+    return false;
+  }
 };
 
 /// Factory so experiments can instantiate one policy per edge.
@@ -114,6 +133,10 @@ class ArmStats {
   /// Arm with the lowest empirical mean among arms played at least once;
   /// unplayed arms are preferred (returned first, lowest index).
   std::size_t best_arm() const noexcept;
+
+  /// Checkpoint the counts/sums tables (keys "armstats.counts"/".sums").
+  void save_state(util::StateWriter& writer) const;
+  void load_state(util::StateReader& reader);
 
  private:
   std::vector<std::size_t> counts_;

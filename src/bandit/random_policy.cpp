@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "util/state_io.h"
+
 namespace cea::bandit {
 
 RandomPolicy::RandomPolicy(const PolicyContext& context)
@@ -22,6 +24,16 @@ PolicyFactory RandomPolicy::factory() {
   return [](const PolicyContext& context) {
     return std::make_unique<RandomPolicy>(context);
   };
+}
+
+bool RandomPolicy::save_state(util::StateWriter& writer) const {
+  writer.write_rng("random.rng", rng_);
+  return true;
+}
+
+bool RandomPolicy::load_state(util::StateReader& reader) {
+  reader.read_rng("random.rng", rng_);
+  return true;
 }
 
 }  // namespace cea::bandit

@@ -14,6 +14,9 @@ class RandomPolicy final : public ModelSelectionPolicy {
   void feedback(std::size_t t, std::size_t arm, double loss) override;
   std::string name() const override { return "Random"; }
 
+  bool save_state(util::StateWriter& writer) const override;
+  bool load_state(util::StateReader& reader) override;
+
   static PolicyFactory factory();
 
  private:

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "opt/tsallis_step.h"
+#include "util/state_io.h"
 
 namespace cea::bandit {
 
@@ -51,6 +52,26 @@ PolicyFactory TsallisInfPolicy::factory() {
   return [](const PolicyContext& context) {
     return std::make_unique<TsallisInfPolicy>(context);
   };
+}
+
+bool TsallisInfPolicy::save_state(util::StateWriter& writer) const {
+  writer.write_rng("tinf.rng", rng_);
+  writer.write_doubles("tinf.cumulative_losses", cumulative_losses_);
+  writer.write_doubles("tinf.probabilities", probabilities_);
+  writer.write_u64("tinf.plays", plays_);
+  writer.write_bool("tinf.presolved", presolved_);
+  return true;
+}
+
+bool TsallisInfPolicy::load_state(util::StateReader& reader) {
+  reader.read_rng("tinf.rng", rng_);
+  cumulative_losses_ =
+      reader.read_doubles("tinf.cumulative_losses", cumulative_losses_.size());
+  probabilities_ =
+      reader.read_doubles("tinf.probabilities", probabilities_.size());
+  plays_ = reader.read_u64("tinf.plays");
+  presolved_ = reader.read_bool("tinf.presolved");
+  return true;
 }
 
 }  // namespace cea::bandit

@@ -30,6 +30,9 @@ class TsallisInfPolicy final : public ModelSelectionPolicy,
   void accept_presolve(std::span<const double> probabilities,
                        double scaled_lambda_warm) override;
 
+  bool save_state(util::StateWriter& writer) const override;
+  bool load_state(util::StateReader& reader) override;
+
   static PolicyFactory factory();
 
  private:

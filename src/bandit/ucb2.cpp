@@ -6,6 +6,8 @@
 #include <memory>
 #include <numbers>
 
+#include "util/state_io.h"
+
 namespace cea::bandit {
 
 Ucb2Policy::Ucb2Policy(const PolicyContext& context, double alpha,
@@ -68,6 +70,25 @@ PolicyFactory Ucb2Policy::factory(double alpha, double loss_scale) {
   return [alpha, loss_scale](const PolicyContext& context) {
     return std::make_unique<Ucb2Policy>(context, alpha, loss_scale);
   };
+}
+
+bool Ucb2Policy::save_state(util::StateWriter& writer) const {
+  stats_.save_state(writer);
+  std::vector<std::uint64_t> epochs(epochs_.begin(), epochs_.end());
+  writer.write_u64s("ucb2.epochs", epochs);
+  writer.write_u64("ucb2.current_arm", current_arm_);
+  writer.write_u64("ucb2.remaining_plays", remaining_plays_);
+  return true;
+}
+
+bool Ucb2Policy::load_state(util::StateReader& reader) {
+  stats_.load_state(reader);
+  const auto epochs = reader.read_u64s("ucb2.epochs", epochs_.size());
+  for (std::size_t arm = 0; arm < epochs_.size(); ++arm)
+    epochs_[arm] = static_cast<std::size_t>(epochs[arm]);
+  current_arm_ = reader.read_u64("ucb2.current_arm");
+  remaining_plays_ = reader.read_u64("ucb2.remaining_plays");
+  return true;
 }
 
 }  // namespace cea::bandit

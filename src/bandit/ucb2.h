@@ -20,6 +20,9 @@ class Ucb2Policy final : public ModelSelectionPolicy {
   void feedback(std::size_t t, std::size_t arm, double loss) override;
   std::string name() const override { return "UCB2"; }
 
+  bool save_state(util::StateWriter& writer) const override;
+  bool load_state(util::StateReader& reader) override;
+
   static PolicyFactory factory(double alpha = 0.5, double loss_scale = 2.5);
 
  private:

@@ -7,6 +7,7 @@
 
 #include "opt/tsallis_step.h"
 #include "util/check.h"
+#include "util/state_io.h"
 
 namespace cea::core {
 
@@ -148,6 +149,59 @@ bandit::FleetPolicyFactory BlockedTsallisFleetPolicy::discounted_factory(
   return [discount](const bandit::FleetPolicyContext& context) {
     return std::make_unique<BlockedTsallisFleetPolicy>(context, discount);
   };
+}
+
+bool BlockedTsallisFleetPolicy::save_state(util::StateWriter& writer) const {
+  writer.write_u64("btfleet.edges", num_edges_);
+  for (std::size_t i = 0; i < num_edges_; ++i)
+    writer.write_rng("btfleet.rng", rng_[i]);
+  writer.write_doubles("btfleet.cumulative_losses", cumulative_losses_);
+  writer.write_doubles("btfleet.probabilities", probabilities_);
+  writer.write_doubles("btfleet.solver_warm", solver_warm_);
+  writer.write_doubles("btfleet.block_loss", block_loss_);
+  auto widen = [](const auto& values) {
+    return std::vector<std::uint64_t>(values.begin(), values.end());
+  };
+  writer.write_u64s("btfleet.block_index", widen(block_index_));
+  writer.write_u64s("btfleet.current_arm", widen(current_arm_));
+  writer.write_u64s("btfleet.slots_left", widen(slots_left_));
+  writer.write_u64s("btfleet.block_open", widen(block_open_));
+  writer.write_u64s("btfleet.presolved", widen(presolved_));
+  return true;
+}
+
+bool BlockedTsallisFleetPolicy::load_state(util::StateReader& reader) {
+  if (reader.read_u64("btfleet.edges") != num_edges_) {
+    throw util::StateError("BlockedTsallisFleet: checkpointed edge count "
+                           "does not match this fleet");
+  }
+  for (std::size_t i = 0; i < num_edges_; ++i)
+    reader.read_rng("btfleet.rng", rng_[i]);
+  const std::size_t slab = num_edges_ * num_models_;
+  cumulative_losses_ = reader.read_doubles("btfleet.cumulative_losses", slab);
+  probabilities_ = reader.read_doubles("btfleet.probabilities", slab);
+  solver_warm_ = reader.read_doubles("btfleet.solver_warm", num_edges_);
+  block_loss_ = reader.read_doubles("btfleet.block_loss", num_edges_);
+  auto narrow = [&](std::string_view key, auto& values) {
+    const auto wide = reader.read_u64s(key, values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] =
+          static_cast<typename std::decay_t<decltype(values)>::value_type>(
+              wide[i]);
+    }
+  };
+  narrow("btfleet.block_index", block_index_);
+  narrow("btfleet.current_arm", current_arm_);
+  narrow("btfleet.slots_left", slots_left_);
+  narrow("btfleet.block_open", block_open_);
+  narrow("btfleet.presolved", presolved_);
+  for (std::size_t i = 0; i < num_edges_; ++i) {
+    if (current_arm_[i] >= num_models_) {
+      throw util::StateError(
+          "BlockedTsallisFleet: checkpointed arm out of range");
+    }
+  }
+  return true;
 }
 
 }  // namespace cea::core

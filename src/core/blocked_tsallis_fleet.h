@@ -42,6 +42,10 @@ class BlockedTsallisFleetPolicy final : public bandit::FleetPolicy {
   bool supports_batch_solve() const noexcept override { return true; }
   std::string name() const override { return "BlockedTsallisINF"; }
 
+  /// Checkpointing: every SoA slab plus each edge's RNG, bit-exact.
+  bool save_state(util::StateWriter& writer) const override;
+  bool load_state(util::StateReader& reader) override;
+
   static bandit::FleetPolicyFactory factory();
   static bandit::FleetPolicyFactory discounted_factory(double discount);
 

@@ -8,6 +8,7 @@
 #include "obs/telemetry.h"
 #include "opt/tsallis_step.h"
 #include "util/check.h"
+#include "util/state_io.h"
 
 namespace cea::core {
 
@@ -143,6 +144,39 @@ bandit::PolicyFactory BlockedTsallisInfPolicy::discounted_factory(
   return [discount](const bandit::PolicyContext& context) {
     return std::make_unique<BlockedTsallisInfPolicy>(context, discount);
   };
+}
+
+bool BlockedTsallisInfPolicy::save_state(util::StateWriter& writer) const {
+  writer.write_rng("btinf.rng", rng_);
+  writer.write_doubles("btinf.cumulative_losses", cumulative_losses_);
+  writer.write_doubles("btinf.probabilities", probabilities_);
+  writer.write_double("btinf.solver_warm", solver_warm_);
+  writer.write_bool("btinf.presolved", presolved_);
+  writer.write_u64("btinf.block_index", block_index_);
+  writer.write_u64("btinf.current_arm", current_arm_);
+  writer.write_u64("btinf.slots_left", slots_left_);
+  writer.write_double("btinf.block_loss", block_loss_);
+  writer.write_bool("btinf.block_open", block_open_);
+  return true;
+}
+
+bool BlockedTsallisInfPolicy::load_state(util::StateReader& reader) {
+  reader.read_rng("btinf.rng", rng_);
+  cumulative_losses_ =
+      reader.read_doubles("btinf.cumulative_losses", cumulative_losses_.size());
+  probabilities_ =
+      reader.read_doubles("btinf.probabilities", probabilities_.size());
+  solver_warm_ = reader.read_double("btinf.solver_warm");
+  presolved_ = reader.read_bool("btinf.presolved");
+  block_index_ = reader.read_u64("btinf.block_index");
+  current_arm_ = reader.read_u64("btinf.current_arm");
+  slots_left_ = reader.read_u64("btinf.slots_left");
+  block_loss_ = reader.read_double("btinf.block_loss");
+  block_open_ = reader.read_bool("btinf.block_open");
+  if (current_arm_ >= probabilities_.size()) {
+    throw util::StateError("BlockedTsallisINF: checkpointed arm out of range");
+  }
+  return true;
 }
 
 }  // namespace cea::core

@@ -49,6 +49,12 @@ class BlockedTsallisInfPolicy final : public bandit::ModelSelectionPolicy,
   void accept_presolve(std::span<const double> probabilities,
                        double scaled_lambda_warm) override;
 
+  /// Checkpointing: the full block-learning state (Chat table, current
+  /// distribution, block cursor, warm root, RNG). solver_scratch_ is
+  /// transient and excluded.
+  bool save_state(util::StateWriter& writer) const override;
+  bool load_state(util::StateReader& reader) override;
+
   static bandit::PolicyFactory factory();
 
   /// Factory for the discounted variant (discount in (0, 1]).

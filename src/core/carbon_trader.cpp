@@ -7,6 +7,7 @@
 
 #include "obs/telemetry.h"
 #include "util/check.h"
+#include "util/state_io.h"
 
 namespace cea::core {
 
@@ -111,6 +112,26 @@ trading::TraderFactory OnlineCarbonTrader::factory(OnlineTraderConfig config) {
   return [config](const trading::TraderContext& context) {
     return std::make_unique<OnlineCarbonTrader>(context, config);
   };
+}
+
+bool OnlineCarbonTrader::save_state(util::StateWriter& writer) const {
+  writer.write_double("onlinepd.lambda", lambda_);
+  writer.write_double("onlinepd.prev_buy_price", prev_buy_price_);
+  writer.write_double("onlinepd.prev_sell_price", prev_sell_price_);
+  writer.write_double("onlinepd.prev_buy", prev_decision_.buy);
+  writer.write_double("onlinepd.prev_sell", prev_decision_.sell);
+  writer.write_bool("onlinepd.has_history", has_history_);
+  return true;
+}
+
+bool OnlineCarbonTrader::load_state(util::StateReader& reader) {
+  lambda_ = reader.read_double("onlinepd.lambda");
+  prev_buy_price_ = reader.read_double("onlinepd.prev_buy_price");
+  prev_sell_price_ = reader.read_double("onlinepd.prev_sell_price");
+  prev_decision_.buy = reader.read_double("onlinepd.prev_buy");
+  prev_decision_.sell = reader.read_double("onlinepd.prev_sell");
+  has_history_ = reader.read_bool("onlinepd.has_history");
+  return true;
 }
 
 }  // namespace cea::core

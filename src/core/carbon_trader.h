@@ -43,6 +43,10 @@ class OnlineCarbonTrader final : public trading::TradingPolicy {
                 const trading::TradeDecision& executed) override;
   std::string name() const override { return "OnlinePD"; }
 
+  /// Checkpointing: dual variable plus the trailing (t-1) observations.
+  bool save_state(util::StateWriter& writer) const override;
+  bool load_state(util::StateReader& reader) override;
+
   static trading::TraderFactory factory(OnlineTraderConfig config = {});
 
   /// Introspection for tests/benches.

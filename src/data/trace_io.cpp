@@ -1,9 +1,12 @@
 #include "data/trace_io.h"
 
-#include <cstdlib>
+#include <climits>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/numio.h"
 
 namespace cea::data {
 namespace {
@@ -23,11 +26,33 @@ std::vector<std::string> split_csv_line(const std::string& line) {
   return cells;
 }
 
+// Locale-independent (util/numio.h): std::strtod honored LC_NUMERIC, so
+// under a comma-decimal locale (de_DE.UTF-8) "7.4" stopped parsing at the
+// '.' and prices/counts were rejected or silently mis-read. Pinned by the
+// locale regression tests in tests/data/test_trace_io.cpp.
 bool parse_double(const std::string& cell, double& out) {
-  if (cell.empty()) return false;
-  char* endptr = nullptr;
-  out = std::strtod(cell.c_str(), &endptr);
-  return endptr == cell.c_str() + cell.size();
+  return util::parse_double(cell, out);
+}
+
+/// Strict workload count: integral, >= 1, and within int range. The old
+/// static_cast<int>(value) silently truncated "3.7" to 3 and was undefined
+/// behavior for values beyond INT_MAX.
+bool parse_count(const std::string& cell, int& out, std::string& why) {
+  double value = 0.0;
+  if (!util::parse_double(cell, value) || value <= 0.0) {
+    why = "bad count";
+    return false;
+  }
+  if (std::floor(value) != value) {
+    why = "non-integral count";
+    return false;
+  }
+  if (value > static_cast<double>(INT_MAX)) {
+    why = "count exceeds INT_MAX";
+    return false;
+  }
+  out = static_cast<int>(value);
+  return true;
 }
 
 }  // namespace
@@ -46,12 +71,13 @@ WorkloadTraces load_workload_csv(const std::string& path) {
     std::vector<int> trace;
     trace.reserve(cells.size());
     for (const auto& cell : cells) {
-      double value = 0.0;
-      if (!parse_double(cell, value) || value <= 0.0) {
-        throw std::runtime_error("load_workload_csv: bad count '" + cell +
+      int value = 0;
+      std::string why;
+      if (!parse_count(cell, value, why)) {
+        throw std::runtime_error("load_workload_csv: " + why + " '" + cell +
                                  "' at line " + std::to_string(line_number));
       }
-      trace.push_back(static_cast<int>(value));
+      trace.push_back(value);
     }
     if (expected_columns == 0) {
       expected_columns = trace.size();
@@ -113,22 +139,30 @@ PriceSeries load_prices_csv(const std::string& path, double sell_ratio) {
 void save_workload_csv(const WorkloadTraces& traces, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_workload_csv: cannot open " + path);
+  // Counts are formatted through util/numio (never the stream's locale):
+  // an imbued/global locale could group digits ("12.034") and break the
+  // loader's strict integer parse.
   for (const auto& trace : traces) {
+    std::string row;
     for (std::size_t t = 0; t < trace.size(); ++t) {
-      if (t > 0) out << ',';
-      out << trace[t];
+      if (t > 0) row.push_back(',');
+      row += util::format_i64(trace[t]);
     }
-    out << '\n';
+    row.push_back('\n');
+    out << row;
   }
 }
 
 void save_prices_csv(const PriceSeries& series, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_prices_csv: cannot open " + path);
+  // Same locale audit as save_workload_csv: `out << double` renders the
+  // decimal separator of the stream's locale, which load_prices_csv would
+  // then reject; format_double always emits '.'.
   out << "buy,sell\n";
-  out.precision(10);
   for (std::size_t t = 0; t < series.size(); ++t) {
-    out << series.buy[t] << ',' << series.sell[t] << '\n';
+    out << util::format_double(series.buy[t], 10) << ','
+        << util::format_double(series.sell[t], 10) << '\n';
   }
 }
 

@@ -1,0 +1,117 @@
+#include "serve/daemon.h"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/telemetry.h"
+#include "util/state_io.h"
+
+namespace cea::serve {
+namespace {
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void sleep_ms(std::size_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(ServeController& controller, FeedSource& feed,
+                         DaemonConfig config)
+    : controller_(controller), feed_(feed), config_(std::move(config)) {
+  if (feed_.num_edges() != controller_.total_edges()) {
+    throw std::invalid_argument(
+        "ServeDaemon: feed supplies " + std::to_string(feed_.num_edges()) +
+        " edges, controller needs " +
+        std::to_string(controller_.total_edges()));
+  }
+}
+
+bool ServeDaemon::restore_if_present() {
+  if (config_.checkpoint_path.empty() ||
+      !file_exists(config_.checkpoint_path)) {
+    return false;
+  }
+  restore_from(config_.checkpoint_path);
+  return true;
+}
+
+void ServeDaemon::restore_from(const std::string& path) {
+  controller_.restore_payload(util::read_checkpoint_file(path));
+}
+
+void ServeDaemon::write_checkpoint() {
+  if (config_.checkpoint_path.empty()) return;
+  util::write_checkpoint_file(config_.checkpoint_path,
+                              controller_.checkpoint_payload());
+#if defined(CEA_TELEMETRY)
+  static const obs::MetricId obs_ckpt = obs::counter("serve.checkpoints");
+  obs::add(obs_ckpt, 1.0);
+#endif
+}
+
+DaemonReport ServeDaemon::run() {
+  DaemonReport report;
+  std::size_t pending_streak = 0;
+  SlotInput input;
+  while (true) {
+    const std::size_t t = controller_.slot();
+    if (config_.max_slots != 0 && t >= config_.max_slots) break;
+    const FeedStatus status = feed_.poll(t, input);
+    if (status == FeedStatus::kEnd) {
+      report.feed_ended = true;
+      break;
+    }
+    if (status == FeedStatus::kPending) {
+#if defined(CEA_TELEMETRY)
+      static const obs::MetricId obs_pending =
+          obs::counter("serve.feed_pending");
+      obs::add(obs_pending, 1.0);
+#endif
+      ++pending_streak;
+      if (config_.max_pending_polls != 0 &&
+          pending_streak >= config_.max_pending_polls) {
+        break;
+      }
+      sleep_ms(config_.poll_interval_ms);
+      continue;
+    }
+    pending_streak = 0;
+    {
+      CEA_SPAN("serve.slot");
+      controller_.step(input.quote, input.workload);
+    }
+    ++report.slots_processed;
+#if defined(CEA_TELEMETRY)
+    static const obs::MetricId obs_slots = obs::counter("serve.slots");
+    obs::add(obs_slots, 1.0);
+#endif
+    sleep_ms(config_.slot_delay_ms);
+    const bool boundary =
+        config_.checkpoint_every != 0 &&
+        controller_.slot() % config_.checkpoint_every == 0;
+    if (boundary) {
+      write_checkpoint();
+      ++report.checkpoints_written;
+    }
+    if (config_.stop_after_slots != 0 &&
+        report.slots_processed >= config_.stop_after_slots) {
+      break;
+    }
+  }
+  if (!config_.checkpoint_path.empty()) {
+    write_checkpoint();
+    ++report.checkpoints_written;
+  }
+  report.final_slot = controller_.slot();
+  return report;
+}
+
+}  // namespace cea::serve

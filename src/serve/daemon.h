@@ -1,0 +1,80 @@
+#pragma once
+
+// The serving daemon: the only layer that owns I/O and a clock. It polls a
+// FeedSource for each slot's input, drives the ServeController (pure state
+// machine), and persists crash-safe checkpoints (util/state_io.h) every
+// `checkpoint_every` slots — so a SIGKILL at ANY instant loses at most the
+// slots since the last checkpoint, and restarting from that checkpoint
+// replays them bit-identically (feeds answer poll(t) repeatably).
+//
+// Library/driver split: this class still does no argument parsing, no
+// signal handling, no logging policy — that lives in the CLI driver
+// (examples/serve_daemon.cpp). Tests drive the daemon in-process.
+
+#include <cstdint>
+#include <string>
+
+#include "serve/controller.h"
+#include "serve/feed.h"
+
+namespace cea::serve {
+
+struct DaemonConfig {
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Write a checkpoint after every N slots (0 = only the final one).
+  std::size_t checkpoint_every = 0;
+  /// Stop after the controller reaches this slot (0 = run to feed end).
+  std::size_t max_slots = 0;
+  /// Stop after processing this many slots IN THIS PROCESS (0 = off).
+  /// Distinct from max_slots: a restored daemon counts from zero, which is
+  /// what the kill/restore CI gate uses to stop at a precise boundary.
+  std::size_t stop_after_slots = 0;
+  /// Sleep between polls while the feed is pending (milliseconds).
+  std::size_t poll_interval_ms = 10;
+  /// Give up after this many consecutive pending polls (0 = wait forever).
+  std::size_t max_pending_polls = 0;
+  /// Artificial pacing per slot (milliseconds); widens the kill window in
+  /// the SIGKILL recovery drill, 0 for full speed.
+  std::size_t slot_delay_ms = 0;
+};
+
+/// Outcome of one ServeDaemon::run() invocation.
+struct DaemonReport {
+  std::size_t slots_processed = 0;   ///< slots executed by THIS run()
+  std::size_t checkpoints_written = 0;
+  std::size_t final_slot = 0;        ///< controller slot after the run
+  bool feed_ended = false;           ///< stopped because the feed ended
+};
+
+class ServeDaemon {
+ public:
+  /// The controller and feed must outlive the daemon. The feed's edge
+  /// width must equal the controller's total_edges().
+  ServeDaemon(ServeController& controller, FeedSource& feed,
+              DaemonConfig config);
+
+  /// Restore the controller from config.checkpoint_path if the file
+  /// exists; returns true when a checkpoint was loaded. Call before run().
+  bool restore_if_present();
+
+  /// Restore from an explicit checkpoint file (throws util::StateError on
+  /// a missing/corrupt/mismatched file).
+  void restore_from(const std::string& path);
+
+  /// Drive the controller until the feed ends, max_slots/stop_after_slots
+  /// is reached, or the feed stays pending past max_pending_polls. Writes
+  /// the periodic checkpoints and, when checkpointing is configured, a
+  /// final checkpoint at the stopping boundary.
+  DaemonReport run();
+
+  /// One checkpoint now (at the current slot boundary), crash-safely.
+  void write_checkpoint();
+
+ private:
+  ServeController& controller_;
+  FeedSource& feed_;
+  DaemonConfig config_;
+};
+
+}  // namespace cea::serve

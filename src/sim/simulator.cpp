@@ -1,15 +1,9 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <functional>
 #include <memory>
 
-#include "obs/telemetry.h"
-#include "opt/tsallis_batch.h"
-#include "sim/fleet_state.h"
-#include "util/check.h"
+#include "sim/slot_engine.h"
 
 namespace cea::sim {
 
@@ -90,362 +84,17 @@ RunResult Simulator::run_impl(
     const trading::TraderFactory& trader_factory, std::uint64_t run_seed,
     std::string algorithm_name, bool fixed_choices,
     const std::vector<std::size_t>* fixed_models) const {
-  const std::size_t horizon = env_.horizon();
-  const std::size_t num_edges = env_.num_edges();
-  const std::size_t num_models = env_.num_models();
-  const auto& config = env_.config();
-
+  // The whole slot loop lives in SlotEngine (sim/slot_engine.h) so the
+  // serving daemon can drive the identical arithmetic slot by slot; the
+  // golden traces pin the extraction bit-for-bit. Here a run is just
+  // "step the engine across the horizon on the environment's own traces".
   auto trader = trader_factory(trader_context(run_seed));
-  // Base of the per-(edge, slot) draw streams; also seeds the shared stream
-  // of the legacy per-sample reference mode.
-  const std::uint64_t draw_seed = run_seed ^ 0xD1CE5EEDBEEFULL;
-  Rng shared_draw_rng(draw_seed);
-
-  RunResult result;
-  result.algorithm = std::move(algorithm_name);
-  result.inference_cost.assign(horizon, 0.0);
-  result.switching_cost.assign(horizon, 0.0);
-  result.trading_cost.assign(horizon, 0.0);
-  result.emissions.assign(horizon, 0.0);
-  result.buys.assign(horizon, 0.0);
-  result.sells.assign(horizon, 0.0);
-  result.accuracy.assign(horizon, 0.0);
-  result.workload.assign(horizon, 0.0);
-  result.selection_counts.assign(
-      num_edges, std::vector<std::size_t>(num_models, 0));
-  result.carbon_cap = config.carbon_cap;
-  result.settlement_price = config.settlement_penalty_multiplier *
-                            env_.prices().buy.back();
-
-  // All per-edge hot state — hoisted slot invariants, hosted model, slot
-  // partials — as flat SoA arrays carved from one arena reservation (see
-  // sim/fleet_state.h). Nothing on the slot path below allocates;
-  // state.arena_overflows() certifies it.
-  FleetState state(env_);
-  const double* energy_per_sample = state.energy_per_sample();
-  const double* mean_loss = state.mean_loss();
-  const data::LossProfile* const* profiles = state.profiles();
-  const std::uint32_t* shift_target = state.shift_target();
-  const double* edge_switch_cost = state.edge_switch_cost();
-  const double* comp_cost = state.comp_cost();
-  const double* transfer_energy = state.transfer_energy();
-  const int* const* edge_workload = state.edge_workload();
-  std::uint32_t* previous_model = state.previous_model();
-  double* part_inference = state.part_inference();
-  double* part_switch_cost = state.part_switch_cost();
-  double* part_energy = state.part_energy();
-  double* part_correct = state.part_correct();
-  double* part_samples = state.part_samples();
-  std::uint32_t* part_model = state.part_model();
-  std::uint8_t* part_switched = state.part_switched();
-
-  // Allowance balance R + sum(z - w - e); sales are clamped so it cannot go
-  // negative through selling (see SimConfig::clamp_sales_to_holdings).
-  double allowance_balance = config.carbon_cap;
-#if defined(CEA_AUDIT)
-  // Independent ledger re-accumulated from the *recorded* series, so any
-  // drift between what the simulator charges and what it reports shows up
-  // as a per-slot violation.
-  double audit_net_flow = 0.0;
-#endif
-
-  const bool per_sample = options_.per_sample_draws;
-  util::ThreadPool* pool = per_sample ? nullptr : options_.pool;
-
-  // Cross-edge batched OMD solving: fleet policies that expose their next
-  // Tsallis solve (next_solve/accept_presolve) get it solved in one SIMD
-  // batch at the start of each slot, before the (possibly parallel) edge
-  // fan-out. Safe because a pending solve's inputs are frozen by the
-  // edge's own previous feedback, and bit-identical because the batch
-  // solver reproduces the scalar oracle exactly.
-  const bool any_batchable = options_.cross_edge_batch_solve &&
-                             !fixed_choices && fleet != nullptr &&
-                             fleet->supports_batch_solve();
-  TsallisBatchSolver batch_solver;
-
-  // Slot-scoped values shared with the hoisted edge task below. Assigned
-  // once per slot before the fan-out; read-only inside it. Hoisting them
-  // (and the task closures) out of the time loop keeps the slot path free
-  // of std::function construction.
-  std::size_t t = 0;
-  bool shifted = false;
-#if defined(CEA_TELEMETRY)
-  // Per-edge phase split (bandit select+feedback vs sample draws) is
-  // too hot to time unconditionally — several clock reads per edge per
-  // slot — so it rides behind the detail switch the --telemetry
-  // harness flips on. Read once per slot, shared read-only with the
-  // pool workers. Timestamps never feed control flow.
-  bool obs_detail = false;
-#endif
-
-  // Per-edge work: model selection, batched loss sampling, bandit
-  // feedback. Touches only state indexed by the edge (its fleet-policy
-  // slot, its previous model, its SoA partial lane), so it is safe to fan
-  // out under the one-writer-per-shard contract.
-  auto edge_task = [&](std::size_t i) {
-#if defined(CEA_TELEMETRY)
-    std::int64_t obs_t0 = obs_detail ? obs::now_ns() : 0;
-    double obs_bandit_ns = 0.0;
-#endif
-    const std::size_t model =
-        fixed_choices ? (*fixed_models)[i] : fleet->select(i, t);
-#if defined(CEA_TELEMETRY)
-    if (obs_detail) {
-      const std::int64_t now = obs::now_ns();
-      obs_bandit_ns += static_cast<double>(now - obs_t0);
-      obs_t0 = now;
-    }
-#endif
-    const std::size_t loss_model = shifted ? shift_target[model] : model;
-    // The initial download (previous_model == kNoModel) costs transfer
-    // energy but is not a "switch": the paper charges y_i^t u_i only when
-    // a *hosted* model is replaced, while every model placement — initial
-    // or not — moves bytes and therefore energy.
-    const bool first_slot = previous_model[i] == FleetState::kNoModel;
-    const bool switched = !first_slot && model != previous_model[i];
-    double switch_cost = 0.0;
-    double energy_kwh = 0.0;
-    if (switched) switch_cost = edge_switch_cost[i];
-    if (switched || first_slot)
-      energy_kwh += transfer_energy[i * num_models + model];
-    previous_model[i] = static_cast<std::uint32_t>(model);
-    part_model[i] = static_cast<std::uint32_t>(model);
-    part_switched[i] = switched ? 1 : 0;
-    CEA_CHECK(t > 0 || !switched, "simulator.first_slot_switch", i, t,
-              static_cast<double>(model),
-              "edge charged a switch at t=0 (initial download)");
-
-    const auto samples = static_cast<std::size_t>(edge_workload[i][t]);
-    const std::size_t draws =
-        config.loss_draw_cap == 0
-            ? samples
-            : std::min<std::size_t>(samples, config.loss_draw_cap);
-
-    data::LossBatch batch;
-    if (per_sample) {
-      for (std::size_t d = 0; d < draws; ++d) {
-        const data::LossDraw draw =
-            profiles[loss_model]->draw(shared_draw_rng);
-        batch.loss_sum += draw.loss;
-        batch.correct_count += draw.correct ? 1 : 0;
-      }
-    } else {
-      // Keyed directly by the (edge, slot) stream seed: no generator
-      // construction on the hot path, same pure-function-of-(seed, i, t)
-      // determinism contract.
-      batch = profiles[loss_model]->draw_batch_keyed(
-          stream_seed(draw_seed, i, t), draws);
-    }
-    const double mean_sampled_loss =
-        draws > 0 ? batch.loss_sum / static_cast<double>(draws) : 0.0;
-    const double sample_accuracy =
-        draws > 0 ? static_cast<double>(batch.correct_count) /
-                        static_cast<double>(draws)
-                  : 0.0;
-#if defined(CEA_TELEMETRY)
-    if (obs_detail) {
-      static const obs::MetricId obs_draws = obs::counter("sim.draws");
-      obs::add(obs_draws, static_cast<double>(draws));
-      static const obs::MetricId obs_draw_hist =
-          obs::duration_histogram("sim.edge.draw");
-      const std::int64_t now = obs::now_ns();
-      obs::observe(obs_draw_hist, static_cast<double>(now - obs_t0));
-      obs_t0 = now;
-    }
-#endif
-
-    // Bandit feedback: L_{i,J}^t + v_{i,J} (Insight 2).
-    if (!fixed_choices) {
-      fleet->feedback(
-          i, t, model, mean_sampled_loss + comp_cost[i * num_models + model]);
-    }
-#if defined(CEA_TELEMETRY)
-    if (obs_detail) {
-      static const obs::MetricId obs_bandit_hist =
-          obs::duration_histogram("sim.edge.bandit");
-      obs_bandit_ns += static_cast<double>(obs::now_ns() - obs_t0);
-      obs::observe(obs_bandit_hist, obs_bandit_ns);
-    }
-#endif
-
-    // Objective (1) charges the expectation E[l_n] + v_{i,n}.
-    part_inference[i] =
-        mean_loss[loss_model] + comp_cost[i * num_models + model];
-    energy_kwh += energy_per_sample[model] * static_cast<double>(samples);
-    part_switch_cost[i] = switch_cost;
-    part_energy[i] = energy_kwh;
-    part_correct[i] = sample_accuracy * static_cast<double>(samples);
-    part_samples[i] = static_cast<double>(samples);
-  };
-  // One contiguous shard per claim (see SimOptions::edge_shard_grain);
-  // hoisted so no std::function is materialized per slot.
-  const std::function<void(std::size_t, std::size_t)> shard_task =
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) edge_task(i);
-      };
-
-  for (t = 0; t < horizon; ++t) {
-    CEA_SPAN("sim.slot");
-    if (any_batchable) {
-      CEA_SPAN_DETAIL("sim.presolve");
-      batch_solver.clear();
-      // Slot-transient edge list from the slot arena — reset per slot,
-      // reserved once at FleetState construction.
-      state.slot_arena().reset();
-      std::uint32_t* batch_edges =
-          state.slot_arena().alloc_array<std::uint32_t>(num_edges);
-      std::size_t batch_count = 0;
-      bandit::TsallisSolveRequest request;
-      for (std::size_t i = 0; i < num_edges; ++i) {
-        if (fleet->next_solve(i, request)) {
-          batch_solver.push(request.cumulative_losses, request.eta,
-                            request.scaled_lambda_warm);
-          batch_edges[batch_count++] = static_cast<std::uint32_t>(i);
-        }
-      }
-      if (batch_count != 0) {
-        batch_solver.solve();
-        for (std::size_t j = 0; j < batch_count; ++j) {
-          fleet->accept_presolve(batch_edges[j],
-                                 batch_solver.probabilities(j),
-                                 batch_solver.scaled_lambda_warm(j));
-        }
-      }
-    }
-    const trading::TradeObservation quote{env_.prices().buy[t],
-                                          env_.prices().sell[t]};
-    trading::TradeDecision trade;
-    {
-      CEA_SPAN_DETAIL("sim.trader.decide");
-      trade = trader->decide(t, quote);
-    }
-    if (config.clamp_sales_to_holdings) {
-      trade.sell = std::min(trade.sell,
-                            std::max(0.0, allowance_balance + trade.buy));
-    }
-
-    // Concept drift (SimConfig::loss_shift_slot): the loss distribution a
-    // hosted model produces flips to its mirror after the shift slot.
-    shifted = config.loss_shift_slot > 0 && t >= config.loss_shift_slot;
-
-#if defined(CEA_TELEMETRY)
-    obs_detail = obs::detail_enabled();
-#endif
-
-    {
-      CEA_SPAN_DETAIL("sim.edges");
-      if (pool != nullptr) {
-        pool->parallel_for_blocked(num_edges, options_.edge_shard_grain,
-                                   shard_task);
-      } else {
-        for (std::size_t i = 0; i < num_edges; ++i) edge_task(i);
-      }
-    }
-
-    // Serial reduction in edge order: identical floating-point accumulation
-    // regardless of how the shards above were scheduled.
-    double slot_energy_kwh = 0.0;
-    double weighted_correct = 0.0;
-    double slot_samples = 0.0;
-    {
-      CEA_SPAN_DETAIL("sim.reduce");
-#if defined(CEA_TELEMETRY)
-      double slot_switches = 0.0;
-#endif
-      for (std::size_t i = 0; i < num_edges; ++i) {
-        result.inference_cost[t] += part_inference[i];
-        result.switching_cost[t] += part_switch_cost[i];
-        if (part_switched[i]) {
-          ++result.total_switches;
-#if defined(CEA_TELEMETRY)
-          slot_switches += 1.0;
-#endif
-        }
-        ++result.selection_counts[i][part_model[i]];
-        slot_energy_kwh += part_energy[i];
-        weighted_correct += part_correct[i];
-        slot_samples += part_samples[i];
-      }
-#if defined(CEA_TELEMETRY)
-      if (obs_detail) {
-        static const obs::MetricId obs_switches =
-            obs::counter("sim.switches");
-        obs::add(obs_switches, slot_switches);
-      }
-#endif
-    }
-
-    const double emission = config.emission_rate * slot_energy_kwh;
-#if defined(CEA_AUDIT)
-    // Holdings clamp precondition, checked against the balance *before*
-    // this slot's trades are applied.
-    CEA_CHECK(!config.clamp_sales_to_holdings ||
-                  trade.sell <=
-                      std::max(0.0, allowance_balance + trade.buy) + 1e-9,
-              "simulator.holdings_clamp", audit::kNoIndex, t, trade.sell,
-              "sell " << trade.sell << " exceeds holdings "
-                      << std::max(0.0, allowance_balance + trade.buy));
-#endif
-    allowance_balance += trade.buy - trade.sell - emission;
-    result.emissions[t] = emission;
-    result.buys[t] = trade.buy;
-    result.sells[t] = trade.sell;
-    result.trading_cost[t] = trade.cost(quote);
-    result.accuracy[t] =
-        slot_samples > 0.0 ? weighted_correct / slot_samples : 0.0;
-    result.workload[t] = slot_samples;
-
-#if defined(CEA_AUDIT)
-    {
-      CEA_SPAN_DETAIL("sim.audit");
-      // Ledger identity: allowance_balance == R + sum_{s<=t}(z - w - e),
-      // re-derived from the recorded series (tolerance covers the different
-      // accumulation grouping).
-      audit_net_flow += result.buys[t] - result.sells[t] - result.emissions[t];
-      const double ledger = config.carbon_cap + audit_net_flow;
-      const double scale =
-          std::max({1.0, std::abs(allowance_balance), std::abs(ledger)});
-      CEA_CHECK(std::abs(allowance_balance - ledger) <= 1e-9 * scale,
-                "simulator.ledger_identity", audit::kNoIndex, t,
-                allowance_balance - ledger,
-                "balance " << allowance_balance
-                           << " != R + sum(z - w - e) = " << ledger);
-      // Emission identity: e^t == rho * slot energy, with the energy
-      // re-summed from the per-edge partials in the same reduction order.
-      double audit_energy = 0.0;
-      for (std::size_t i = 0; i < num_edges; ++i)
-        audit_energy += part_energy[i];
-      CEA_CHECK(emission == config.emission_rate * audit_energy &&
-                    std::isfinite(emission) && emission >= 0.0,
-                "simulator.emission_identity", audit::kNoIndex, t, emission,
-                "emission " << emission << " != rho * energy = "
-                            << config.emission_rate * audit_energy);
-      // Per-slot sanity of the recorded series.
-      CEA_CHECK(result.buys[t] >= 0.0 &&
-                    result.buys[t] <= config.max_trade_per_slot + 1e-9 &&
-                    result.sells[t] >= 0.0 &&
-                    result.sells[t] <= config.max_trade_per_slot + 1e-9,
-                "simulator.trade_box", audit::kNoIndex, t,
-                result.buys[t] - result.sells[t],
-                "trade (" << result.buys[t] << ", " << result.sells[t]
-                          << ") outside [0, " << config.max_trade_per_slot
-                          << "]^2");
-      CEA_CHECK(result.accuracy[t] >= 0.0 && result.accuracy[t] <= 1.0,
-                "simulator.accuracy_range", audit::kNoIndex, t,
-                result.accuracy[t],
-                "slot accuracy " << result.accuracy[t] << " outside [0, 1]");
-    }
-#endif
-
-    {
-      CEA_SPAN_DETAIL("sim.trader.feedback");
-      trader->feedback(t, emission, quote, trade);
-    }
-  }
-  // Zero in steady state (bench/perf_fleet and tests/sim/test_fleet gate
-  // on it): both arenas were reserved for their worst case up front.
-  result.arena_overflows = state.arena_overflows();
-  return result;
+  SlotEngine engine(env_, options_, std::move(fleet), std::move(trader),
+                    run_seed, std::move(algorithm_name),
+                    fixed_choices ? fixed_models : nullptr);
+  const std::size_t horizon = env_.horizon();
+  for (std::size_t t = 0; t < horizon; ++t) engine.step();
+  return engine.take_result();
 }
 
 }  // namespace cea::sim

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "util/check.h"
+#include "util/state_io.h"
 
 namespace cea::trading {
 
@@ -42,6 +43,16 @@ TraderFactory LyapunovTrader::factory(double v_parameter, double quantity) {
   return [v_parameter, quantity](const TraderContext& context) {
     return std::make_unique<LyapunovTrader>(context, v_parameter, quantity);
   };
+}
+
+bool LyapunovTrader::save_state(util::StateWriter& writer) const {
+  writer.write_double("ly.queue", queue_);
+  return true;
+}
+
+bool LyapunovTrader::load_state(util::StateReader& reader) {
+  queue_ = reader.read_double("ly.queue");
+  return true;
 }
 
 }  // namespace cea::trading

@@ -27,6 +27,9 @@ class LyapunovTrader final : public TradingPolicy {
 
   double queue() const noexcept { return queue_; }
 
+  bool save_state(util::StateWriter& writer) const override;
+  bool load_state(util::StateReader& reader) override;
+
   /// V trades off trading expense against queue (violation) backlog. The
   /// default quantity is "the liquidity cap" (classic bang-bang drift-plus-
   /// penalty); pass a smaller box to soften it.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "util/state_io.h"
+
 namespace cea::trading {
 
 RandomTrader::RandomTrader(const TraderContext& context, double max_quantity)
@@ -24,6 +26,16 @@ TraderFactory RandomTrader::factory(double max_quantity) {
   return [max_quantity](const TraderContext& context) {
     return std::make_unique<RandomTrader>(context, max_quantity);
   };
+}
+
+bool RandomTrader::save_state(util::StateWriter& writer) const {
+  writer.write_rng("ran.rng", rng_);
+  return true;
+}
+
+bool RandomTrader::load_state(util::StateReader& reader) {
+  reader.read_rng("ran.rng", rng_);
+  return true;
 }
 
 }  // namespace cea::trading

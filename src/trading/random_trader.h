@@ -19,6 +19,9 @@ class RandomTrader final : public TradingPolicy {
                 const TradeDecision& executed) override;
   std::string name() const override { return "Ran"; }
 
+  bool save_state(util::StateWriter& writer) const override;
+  bool load_state(util::StateReader& reader) override;
+
   static TraderFactory factory(double max_quantity = 3.0);
 
  private:

@@ -34,4 +34,12 @@ TraderFactory ThresholdTrader::factory(double buy_below, double sell_above,
   };
 }
 
+bool ThresholdTrader::save_state(util::StateWriter& /*writer*/) const {
+  return true;  // stateless
+}
+
+bool ThresholdTrader::load_state(util::StateReader& /*reader*/) {
+  return true;
+}
+
 }  // namespace cea::trading

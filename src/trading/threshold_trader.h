@@ -18,6 +18,10 @@ class ThresholdTrader final : public TradingPolicy {
                 const TradeDecision& executed) override;
   std::string name() const override { return "TH"; }
 
+  /// Stateless: checkpointing is trivially supported.
+  bool save_state(util::StateWriter& writer) const override;
+  bool load_state(util::StateReader& reader) override;
+
   /// Defaults tuned to the EU-permit band [5.9, 10.9]: buy below 7.4
   /// (cheap third of the band), sell above 8.1 (rich half of sell quotes).
   static TraderFactory factory(double buy_below = 7.4,

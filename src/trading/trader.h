@@ -5,6 +5,11 @@
 #include <memory>
 #include <string>
 
+namespace cea::util {
+class StateWriter;
+class StateReader;
+}  // namespace cea::util
+
 namespace cea::trading {
 
 /// Market quotes visible in the current time slot.
@@ -50,6 +55,20 @@ class TradingPolicy {
                         const TradeDecision& executed) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Checkpoint support (util/state_io.h): serialize the trader's full
+  /// mutable state such that load_state() on a freshly constructed trader
+  /// (same TraderContext) continues bit-identically. Both return false
+  /// when unsupported (the default); the writer/reader must then be
+  /// untouched. Stateless traders implement these as trivially true.
+  virtual bool save_state(util::StateWriter& writer) const {
+    (void)writer;
+    return false;
+  }
+  virtual bool load_state(util::StateReader& reader) {
+    (void)reader;
+    return false;
+  }
 };
 
 using TraderFactory =

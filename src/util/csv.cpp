@@ -1,8 +1,8 @@
 #include "util/csv.h"
 
-#include <cstdio>
-#include <sstream>
 #include <stdexcept>
+
+#include "util/numio.h"
 
 namespace cea {
 
@@ -49,12 +49,10 @@ void CsvWriter::write_row(std::string_view label,
   std::vector<std::string> cells;
   cells.reserve(values.size() + 1);
   cells.emplace_back(label);
-  for (double v : values) {
-    std::ostringstream ss;
-    ss.precision(10);
-    ss << v;
-    cells.push_back(ss.str());
-  }
+  // util::format_double, not ostringstream: stream insertion renders the
+  // decimal separator of the imbued (global) locale, which would corrupt
+  // the CSV under e.g. de_DE.UTF-8.
+  for (double v : values) cells.push_back(util::format_double(v, 10));
   write_cells(cells);
 }
 
@@ -63,11 +61,10 @@ void CsvWriter::write_row_exact(std::string_view label,
   std::vector<std::string> cells;
   cells.reserve(values.size() + 1);
   cells.emplace_back(label);
-  for (double v : values) {
-    char buffer[48];
-    std::snprintf(buffer, sizeof(buffer), "%a", v);
-    cells.emplace_back(buffer);
-  }
+  // util::format_double_exact, not snprintf "%a": printf consults
+  // LC_NUMERIC for the radix character, so a non-"C" locale would emit
+  // "0x1,8p+3" and break every bit-exact reader.
+  for (double v : values) cells.push_back(util::format_double_exact(v));
   write_cells(cells);
 }
 

@@ -1,0 +1,140 @@
+#include "util/numio.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <system_error>
+
+namespace cea::util {
+namespace {
+
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+#define CEA_HAVE_FP_CHARCONV 1
+#else
+#define CEA_HAVE_FP_CHARCONV 0
+#endif
+
+bool parse_with_format(std::string_view digits, bool negative,
+                       std::chars_format format, double& out) noexcept {
+#if CEA_HAVE_FP_CHARCONV
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value,
+                      format);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size()) return false;
+  out = negative ? -value : value;
+  return true;
+#else
+  // Fallback for toolchains without floating-point <charconv>: rebuild a
+  // canonical C-locale string and hand it to strtod after normalizing any
+  // locale-specific decimal separator away. strtod always accepts the
+  // C-locale '.' in addition to the locale separator on glibc, and the
+  // inputs we produce never contain a locale separator, so this path is
+  // correct for round-tripping our own output; it exists only to keep the
+  // build alive on pre-charconv standard libraries.
+  std::string buffer;
+  if (negative) buffer.push_back('-');
+  if (format == std::chars_format::hex) buffer += "0x";
+  buffer.append(digits);
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) return false;
+  out = value;
+  return true;
+#endif
+}
+
+}  // namespace
+
+bool parse_double(std::string_view cell, double& out) noexcept {
+  if (cell.empty()) return false;
+  bool negative = false;
+  std::string_view rest = cell;
+  if (rest.front() == '+' || rest.front() == '-') {
+    negative = rest.front() == '-';
+    rest.remove_prefix(1);
+    if (rest.empty()) return false;
+  }
+  // C99 hex-floats carry an 0x/0X prefix that std::from_chars's hex format
+  // does not expect; strip it and switch format.
+  if (rest.size() >= 2 && rest[0] == '0' && (rest[1] == 'x' || rest[1] == 'X')) {
+    return parse_with_format(rest.substr(2), negative, std::chars_format::hex,
+                             out);
+  }
+  return parse_with_format(rest, negative, std::chars_format::general, out);
+}
+
+bool parse_u64(std::string_view cell, std::uint64_t& out) noexcept {
+  if (cell.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), out, 10);
+  return ec == std::errc{} && ptr == cell.data() + cell.size();
+}
+
+bool parse_i64(std::string_view cell, std::int64_t& out) noexcept {
+  if (cell.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), out, 10);
+  return ec == std::errc{} && ptr == cell.data() + cell.size();
+}
+
+std::string format_double_exact(double value) {
+#if CEA_HAVE_FP_CHARCONV
+  char digits[64];
+  const auto [ptr, ec] =
+      std::to_chars(digits, digits + sizeof(digits), value,
+                    std::chars_format::hex);
+  if (ec != std::errc{}) return "nan";
+  std::string_view body(digits, static_cast<std::size_t>(ptr - digits));
+  std::string result;
+  result.reserve(body.size() + 3);
+  if (!body.empty() && body.front() == '-') {
+    result.push_back('-');
+    body.remove_prefix(1);
+  }
+  // to_chars hex output has no 0x prefix; add it so strtod/parse_double
+  // recognize the value. inf/nan carry no prefix.
+  if (!body.empty() && (body.front() == 'i' || body.front() == 'n')) {
+    result.append(body);
+  } else {
+    result += "0x";
+    result.append(body);
+  }
+  return result;
+#else
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+#endif
+}
+
+std::string format_double(double value, int precision) {
+#if CEA_HAVE_FP_CHARCONV
+  char digits[64];
+  const auto [ptr, ec] =
+      std::to_chars(digits, digits + sizeof(digits), value,
+                    std::chars_format::general, precision);
+  if (ec != std::errc{}) return "nan";
+  return std::string(digits, static_cast<std::size_t>(ptr - digits));
+#else
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+  return buffer;
+#endif
+}
+
+std::string format_u64(std::uint64_t value) {
+  char digits[24];
+  const auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits), value);
+  (void)ec;
+  return std::string(digits, static_cast<std::size_t>(ptr - digits));
+}
+
+std::string format_i64(std::int64_t value) {
+  char digits[24];
+  const auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits), value);
+  (void)ec;
+  return std::string(digits, static_cast<std::size_t>(ptr - digits));
+}
+
+}  // namespace cea::util

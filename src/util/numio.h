@@ -1,0 +1,46 @@
+#pragma once
+
+// Locale-independent numeric parsing and formatting.
+//
+// std::strtod, std::stod, printf("%a"/"%g"), and ostream operator<< all
+// consult the process locale (LC_NUMERIC): under e.g. de_DE.UTF-8 the
+// decimal separator becomes ',' and "7.4" parses as 7 with trailing
+// garbage while 7.4 prints as "7,4". Every CSV / golden-trace / checkpoint
+// path in this repo must be immune to the host locale, so they all funnel
+// through these helpers, which are built on std::from_chars/std::to_chars
+// (locale-independent by specification) with a manual hex-float fallback
+// for toolchains whose <charconv> lacks floating-point support.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cea::util {
+
+/// Parse a complete double from `cell`: decimal ("7.4", "1e-3", "inf",
+/// "nan") or C99 hex-float ("0x1.8p+3", "-0X1p-2", as printed by
+/// format_double_exact / printf %a). Leading/trailing whitespace or any
+/// trailing garbage fails; the empty string fails. Never consults the
+/// locale.
+bool parse_double(std::string_view cell, double& out) noexcept;
+
+/// Parse a complete unsigned decimal integer. Fails on sign, garbage, or
+/// overflow.
+bool parse_u64(std::string_view cell, std::uint64_t& out) noexcept;
+
+/// Parse a complete signed decimal integer.
+bool parse_i64(std::string_view cell, std::int64_t& out) noexcept;
+
+/// Exact hex-float formatting ("0x1.999999999999ap-4"): the shortest form
+/// that parse_double round-trips bit-for-bit, equivalent in role to printf
+/// "%a" but immune to LC_NUMERIC.
+std::string format_double_exact(double value);
+
+/// printf "%.<precision>g" equivalent via std::to_chars — plot-grade
+/// decimal output with a locale-independent '.' separator.
+std::string format_double(double value, int precision = 10);
+
+std::string format_u64(std::uint64_t value);
+std::string format_i64(std::int64_t value);
+
+}  // namespace cea::util

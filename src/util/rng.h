@@ -89,6 +89,24 @@ class Rng {
   /// Random permutation of {0, ..., n-1} (Fisher-Yates).
   std::vector<std::size_t> permutation(std::size_t n);
 
+  /// Full generator state: the four xoshiro256** words plus the cached
+  /// Box-Muller normal. Snapshotting and restoring it continues the stream
+  /// bit-identically — the contract the serving daemon's checkpoint layer
+  /// (util/state_io.h) relies on.
+  struct State {
+    std::uint64_t s[4];
+    double cached_normal;
+    bool has_cached_normal;
+  };
+  State state() const noexcept {
+    return {{s_[0], s_[1], s_[2], s_[3]}, cached_normal_, has_cached_normal_};
+  }
+  void set_state(const State& state) noexcept {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
+
  private:
   static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

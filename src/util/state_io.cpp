@@ -1,0 +1,395 @@
+#include "util/state_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/numio.h"
+
+namespace cea::util {
+
+// --- StateWriter ----------------------------------------------------------
+
+void StateWriter::begin_line(std::string_view key) {
+  payload_.append(key);
+  payload_.push_back(' ');
+}
+
+void StateWriter::write_u64(std::string_view key, std::uint64_t value) {
+  begin_line(key);
+  payload_ += format_u64(value);
+  payload_.push_back('\n');
+}
+
+void StateWriter::write_i64(std::string_view key, std::int64_t value) {
+  begin_line(key);
+  payload_ += format_i64(value);
+  payload_.push_back('\n');
+}
+
+void StateWriter::write_bool(std::string_view key, bool value) {
+  write_u64(key, value ? 1 : 0);
+}
+
+void StateWriter::write_double(std::string_view key, double value) {
+  begin_line(key);
+  payload_ += format_double_exact(value);
+  payload_.push_back('\n');
+}
+
+void StateWriter::write_string(std::string_view key, std::string_view value) {
+  begin_line(key);
+  payload_.append(value);
+  payload_.push_back('\n');
+}
+
+void StateWriter::write_doubles(std::string_view key,
+                                std::span<const double> values) {
+  begin_line(key);
+  payload_ += format_u64(values.size());
+  for (double v : values) {
+    payload_.push_back(' ');
+    payload_ += format_double_exact(v);
+  }
+  payload_.push_back('\n');
+}
+
+void StateWriter::write_u64s(std::string_view key,
+                             std::span<const std::uint64_t> values) {
+  begin_line(key);
+  payload_ += format_u64(values.size());
+  for (std::uint64_t v : values) {
+    payload_.push_back(' ');
+    payload_ += format_u64(v);
+  }
+  payload_.push_back('\n');
+}
+
+void StateWriter::write_rng(std::string_view key, const Rng& rng) {
+  const Rng::State state = rng.state();
+  begin_line(key);
+  for (std::uint64_t word : state.s) {
+    payload_ += format_u64(word);
+    payload_.push_back(' ');
+  }
+  payload_ += format_double_exact(state.cached_normal);
+  payload_.push_back(' ');
+  payload_ += format_u64(state.has_cached_normal ? 1 : 0);
+  payload_.push_back('\n');
+}
+
+// --- StateReader ----------------------------------------------------------
+
+namespace {
+
+std::string_view take_token(std::string_view& rest) {
+  const std::size_t space = rest.find(' ');
+  std::string_view token = rest.substr(0, space);
+  rest = space == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(space + 1);
+  return token;
+}
+
+[[noreturn]] void fail(std::string_view key, std::size_t line,
+                       std::string_view what) {
+  throw StateError("checkpoint state: key '" + std::string(key) + "' (line " +
+                   std::to_string(line) + "): " + std::string(what));
+}
+
+}  // namespace
+
+std::string_view StateReader::next_value(std::string_view key) {
+  if (remaining_.empty()) fail(key, line_, "payload ended early");
+  ++line_;
+  const std::size_t eol = remaining_.find('\n');
+  if (eol == std::string_view::npos) fail(key, line_, "unterminated line");
+  std::string_view line = remaining_.substr(0, eol);
+  remaining_ = remaining_.substr(eol + 1);
+  const std::size_t space = line.find(' ');
+  if (space == std::string_view::npos) fail(key, line_, "malformed line");
+  if (line.substr(0, space) != key) {
+    fail(key, line_,
+         "expected key, found '" + std::string(line.substr(0, space)) + "'");
+  }
+  return line.substr(space + 1);
+}
+
+std::uint64_t StateReader::read_u64(std::string_view key) {
+  std::uint64_t value = 0;
+  if (!parse_u64(next_value(key), value)) fail(key, line_, "bad u64");
+  return value;
+}
+
+std::int64_t StateReader::read_i64(std::string_view key) {
+  std::int64_t value = 0;
+  if (!parse_i64(next_value(key), value)) fail(key, line_, "bad i64");
+  return value;
+}
+
+bool StateReader::read_bool(std::string_view key) {
+  const std::uint64_t value = read_u64(key);
+  if (value > 1) fail(key, line_, "bad bool");
+  return value != 0;
+}
+
+double StateReader::read_double(std::string_view key) {
+  double value = 0.0;
+  if (!parse_double(next_value(key), value)) fail(key, line_, "bad double");
+  return value;
+}
+
+std::string StateReader::read_string(std::string_view key) {
+  return std::string(next_value(key));
+}
+
+std::vector<double> StateReader::read_doubles(std::string_view key) {
+  std::string_view rest = next_value(key);
+  std::uint64_t count = 0;
+  if (!parse_u64(take_token(rest), count)) fail(key, line_, "bad count");
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    double v = 0.0;
+    if (!parse_double(take_token(rest), v)) fail(key, line_, "bad element");
+    values.push_back(v);
+  }
+  if (!rest.empty()) fail(key, line_, "trailing data");
+  return values;
+}
+
+std::vector<std::uint64_t> StateReader::read_u64s(std::string_view key) {
+  std::string_view rest = next_value(key);
+  std::uint64_t count = 0;
+  if (!parse_u64(take_token(rest), count)) fail(key, line_, "bad count");
+  std::vector<std::uint64_t> values;
+  values.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t v = 0;
+    if (!parse_u64(take_token(rest), v)) fail(key, line_, "bad element");
+    values.push_back(v);
+  }
+  if (!rest.empty()) fail(key, line_, "trailing data");
+  return values;
+}
+
+std::vector<double> StateReader::read_doubles(std::string_view key,
+                                              std::size_t expected) {
+  auto values = read_doubles(key);
+  if (values.size() != expected) {
+    fail(key, line_,
+         "expected " + std::to_string(expected) + " elements, found " +
+             std::to_string(values.size()));
+  }
+  return values;
+}
+
+std::vector<std::uint64_t> StateReader::read_u64s(std::string_view key,
+                                                  std::size_t expected) {
+  auto values = read_u64s(key);
+  if (values.size() != expected) {
+    fail(key, line_,
+         "expected " + std::to_string(expected) + " elements, found " +
+             std::to_string(values.size()));
+  }
+  return values;
+}
+
+void StateReader::read_rng(std::string_view key, Rng& rng) {
+  std::string_view rest = next_value(key);
+  Rng::State state{};
+  for (auto& word : state.s) {
+    if (!parse_u64(take_token(rest), word)) fail(key, line_, "bad rng word");
+  }
+  if (!parse_double(take_token(rest), state.cached_normal)) {
+    fail(key, line_, "bad rng cache");
+  }
+  std::uint64_t has_cache = 0;
+  if (!parse_u64(take_token(rest), has_cache) || has_cache > 1 ||
+      !rest.empty()) {
+    fail(key, line_, "bad rng cache flag");
+  }
+  state.has_cached_normal = has_cache != 0;
+  rng.set_state(state);
+}
+
+void StateReader::expect_end() const {
+  if (!remaining_.empty()) {
+    throw StateError(
+        "checkpoint state: trailing data after the last expected field "
+        "(reader/writer schema drift)");
+  }
+}
+
+// --- Envelope -------------------------------------------------------------
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+constexpr std::string_view kMagic = "CEA-CHECKPOINT";
+
+std::string hex16(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string encode_checkpoint(std::string_view payload) {
+  std::string file;
+  file.reserve(payload.size() + 64);
+  file.append(kMagic);
+  file += " v";
+  file += format_u64(static_cast<std::uint64_t>(kCheckpointVersion));
+  file.push_back(' ');
+  file += format_u64(payload.size());
+  file.push_back(' ');
+  file += hex16(fnv1a64(payload));
+  file.push_back('\n');
+  file.append(payload);
+  return file;
+}
+
+std::string decode_checkpoint(std::string_view file_bytes) {
+  const std::size_t eol = file_bytes.find('\n');
+  if (eol == std::string_view::npos) {
+    throw StateError("checkpoint: missing header line (truncated file?)");
+  }
+  std::string_view header = file_bytes.substr(0, eol);
+  std::string_view rest = header;
+  if (take_token(rest) != kMagic) {
+    throw StateError("checkpoint: bad magic (not a CEA-CHECKPOINT file)");
+  }
+  const std::string_view version = take_token(rest);
+  if (version.size() < 2 || version[0] != 'v') {
+    throw StateError("checkpoint: malformed version field");
+  }
+  std::uint64_t version_number = 0;
+  if (!parse_u64(version.substr(1), version_number)) {
+    throw StateError("checkpoint: malformed version field");
+  }
+  if (version_number != static_cast<std::uint64_t>(kCheckpointVersion)) {
+    throw StateError("checkpoint: unsupported version v" +
+                     std::to_string(version_number) + " (this build reads v" +
+                     std::to_string(kCheckpointVersion) + ")");
+  }
+  std::uint64_t payload_bytes = 0;
+  if (!parse_u64(take_token(rest), payload_bytes)) {
+    throw StateError("checkpoint: malformed payload length");
+  }
+  std::uint64_t checksum = 0;
+  const std::string_view checksum_hex = take_token(rest);
+  if (checksum_hex.size() != 16 || !rest.empty()) {
+    throw StateError("checkpoint: malformed checksum field");
+  }
+  for (char c : checksum_hex) {
+    checksum <<= 4;
+    if (c >= '0' && c <= '9') {
+      checksum |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      checksum |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw StateError("checkpoint: malformed checksum field");
+    }
+  }
+  const std::string_view payload = file_bytes.substr(eol + 1);
+  if (payload.size() != payload_bytes) {
+    throw StateError("checkpoint: truncated payload (" +
+                     std::to_string(payload.size()) + " bytes, header says " +
+                     std::to_string(payload_bytes) + ")");
+  }
+  if (fnv1a64(payload) != checksum) {
+    throw StateError("checkpoint: checksum mismatch (corrupted payload)");
+  }
+  return std::string(payload);
+}
+
+void write_checkpoint_file(const std::string& path,
+                           std::string_view payload) {
+  const std::string bytes = encode_checkpoint(payload);
+  const std::string temp_path = path + ".tmp";
+  const int fd = ::open(temp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw StateError("checkpoint: cannot open " + temp_path + ": " +
+                     std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(temp_path.c_str());
+      throw StateError("checkpoint: write failed on " + temp_path + ": " +
+                       std::strerror(saved));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(temp_path.c_str());
+    throw StateError("checkpoint: fsync failed on " + temp_path + ": " +
+                     std::strerror(saved));
+  }
+  ::close(fd);
+  if (::rename(temp_path.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(temp_path.c_str());
+    throw StateError("checkpoint: rename to " + path + " failed: " +
+                     std::strerror(saved));
+  }
+  // Persist the rename itself: fsync the containing directory.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+std::string read_checkpoint_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw StateError("checkpoint: cannot open " + path + ": " +
+                     std::strerror(errno));
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      throw StateError("checkpoint: read failed on " + path + ": " +
+                       std::strerror(saved));
+    }
+    if (n == 0) break;
+    bytes.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return decode_checkpoint(bytes);
+}
+
+}  // namespace cea::util

@@ -1,0 +1,115 @@
+#pragma once
+
+// Bit-exact, versioned, crash-safe state serialization — the substrate of
+// the serving daemon's checkpoint/restore (see serve/daemon.h and
+// DESIGN.md §11).
+//
+// Payload model: an ordered sequence of (key, typed value) lines. Doubles
+// are C99 hex-floats (util/numio.h), so every mantissa bit round-trips;
+// integers are decimal; vectors carry an explicit element count. Readers
+// consume lines strictly in writer order and verify each key, so a
+// structural mismatch (schema drift, corrupted line, wrong object) fails
+// immediately with the offending key in the message instead of silently
+// shearing fields.
+//
+// File envelope: a single header line
+//   CEA-CHECKPOINT v<version> <payload-bytes> <fnv1a64-hex>
+// followed by the payload. The byte count catches truncation, the FNV-1a
+// checksum catches in-place corruption, and the version gate refuses
+// formats this build does not understand. write_checkpoint_file() is
+// crash-safe: temp file in the same directory, fsync, atomic rename,
+// directory fsync — a SIGKILL at any instant leaves either the previous
+// complete checkpoint or the new one, never a torn file.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cea::util {
+
+/// Thrown on any malformed, truncated, corrupted, or version-mismatched
+/// checkpoint payload or file.
+class StateError : public std::runtime_error {
+ public:
+  explicit StateError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class StateWriter {
+ public:
+  void write_u64(std::string_view key, std::uint64_t value);
+  void write_i64(std::string_view key, std::int64_t value);
+  void write_bool(std::string_view key, bool value);
+  void write_double(std::string_view key, double value);  ///< hex-float, exact
+  /// Value may not contain newlines; it runs to end of line.
+  void write_string(std::string_view key, std::string_view value);
+  void write_doubles(std::string_view key, std::span<const double> values);
+  void write_u64s(std::string_view key, std::span<const std::uint64_t> values);
+  /// Full generator state (xoshiro words + Box-Muller cache) — restoring
+  /// reproduces the exact continuation of the stream.
+  void write_rng(std::string_view key, const Rng& rng);
+
+  const std::string& payload() const noexcept { return payload_; }
+
+ private:
+  void begin_line(std::string_view key);
+  std::string payload_;
+};
+
+/// Sequential reader over a StateWriter payload. Every read names the key
+/// it expects; mismatch, malformed value, or premature end throws
+/// StateError.
+class StateReader {
+ public:
+  explicit StateReader(std::string_view payload) : remaining_(payload) {}
+
+  std::uint64_t read_u64(std::string_view key);
+  std::int64_t read_i64(std::string_view key);
+  bool read_bool(std::string_view key);
+  double read_double(std::string_view key);
+  std::string read_string(std::string_view key);
+  std::vector<double> read_doubles(std::string_view key);
+  std::vector<std::uint64_t> read_u64s(std::string_view key);
+  void read_rng(std::string_view key, Rng& rng);
+
+  /// Like read_doubles/read_u64s but requires exactly `expected` elements.
+  std::vector<double> read_doubles(std::string_view key, std::size_t expected);
+  std::vector<std::uint64_t> read_u64s(std::string_view key,
+                                       std::size_t expected);
+
+  bool at_end() const noexcept { return remaining_.empty(); }
+  /// Throws unless the whole payload was consumed (trailing data usually
+  /// means reader/writer schema drift).
+  void expect_end() const;
+
+ private:
+  std::string_view next_value(std::string_view key);
+  std::string_view remaining_;
+  std::size_t line_ = 0;
+};
+
+/// FNV-1a 64-bit over `bytes` (the checkpoint envelope's checksum).
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+inline constexpr int kCheckpointVersion = 1;
+
+/// Serialize `payload` into the envelope format (header + payload bytes).
+std::string encode_checkpoint(std::string_view payload);
+
+/// Validate an envelope (magic, version, length, checksum) and return the
+/// payload. Throws StateError naming the failure.
+std::string decode_checkpoint(std::string_view file_bytes);
+
+/// Crash-safe checkpoint write: envelope into `path + ".tmp"`, fsync,
+/// rename over `path`, fsync the directory. Throws StateError on any I/O
+/// failure.
+void write_checkpoint_file(const std::string& path, std::string_view payload);
+
+/// Read and validate a checkpoint file; returns the payload.
+std::string read_checkpoint_file(const std::string& path);
+
+}  // namespace cea::util

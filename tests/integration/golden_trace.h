@@ -24,6 +24,7 @@
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "util/csv.h"
+#include "util/numio.h"
 
 namespace cea::sim::golden {
 
@@ -93,8 +94,16 @@ inline Trace read_trace(const std::string& path) {
     if (!std::getline(cells, cell, ',')) continue;
     std::vector<double> values;
     std::string label = cell;
-    while (std::getline(cells, cell, ','))
-      values.push_back(std::strtod(cell.c_str(), nullptr));
+    while (std::getline(cells, cell, ',')) {
+      // util::parse_double, not strtod: the golden hex-floats must parse
+      // bit-exactly regardless of the host locale's decimal separator.
+      double value = 0.0;
+      if (!cea::util::parse_double(cell, value)) {
+        throw std::runtime_error("golden trace " + path + ": bad cell '" +
+                                 cell + "'");
+      }
+      values.push_back(value);
+    }
     trace.emplace_back(std::move(label), std::move(values));
   }
   return trace;

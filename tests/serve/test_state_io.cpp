@@ -1,0 +1,389 @@
+#include "util/state_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/trace_io.h"
+#include "util/csv.h"
+#include "util/numio.h"
+#include "util/rng.h"
+
+namespace cea::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// numio: locale-independent parsing / exact formatting
+// ---------------------------------------------------------------------------
+
+TEST(NumIo, ParsesDecimalForms) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("7.4", v));
+  EXPECT_DOUBLE_EQ(v, 7.4);
+  EXPECT_TRUE(parse_double("-1e-3", v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+  EXPECT_TRUE(parse_double("inf", v));
+  EXPECT_TRUE(std::isinf(v));
+  EXPECT_TRUE(parse_double("nan", v));
+  EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(NumIo, ParsesHexFloatForms) {
+  double v = 0.0;
+  ASSERT_TRUE(parse_double("0x1.8p+3", v));
+  EXPECT_DOUBLE_EQ(v, 12.0);
+  ASSERT_TRUE(parse_double("-0X1p-2", v));
+  EXPECT_DOUBLE_EQ(v, -0.25);
+}
+
+TEST(NumIo, RejectsGarbage) {
+  double v = 0.0;
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("7.4x", v));   // trailing garbage
+  EXPECT_FALSE(parse_double(" 7.4", v));   // leading whitespace
+  EXPECT_FALSE(parse_double("7.4 ", v));   // trailing whitespace
+  EXPECT_FALSE(parse_double("7,4", v));    // locale comma is never accepted
+}
+
+TEST(NumIo, ExactFormatRoundTripsBitForBit) {
+  const std::vector<double> values = {
+      0.0,
+      -0.0,
+      0.1,
+      1.0 / 3.0,
+      -12345.6789,
+      1e308,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::infinity(),
+  };
+  for (const double value : values) {
+    double parsed = 0.0;
+    const std::string text = format_double_exact(value);
+    ASSERT_TRUE(parse_double(text, parsed)) << text;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(value),
+              std::bit_cast<std::uint64_t>(parsed))
+        << text;
+  }
+}
+
+TEST(NumIo, IntegerParsersRejectSignAndOverflow) {
+  std::uint64_t u = 0;
+  EXPECT_TRUE(parse_u64("18446744073709551615", u));
+  EXPECT_EQ(u, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(parse_u64("18446744073709551616", u));  // overflow
+  EXPECT_FALSE(parse_u64("-1", u));
+  EXPECT_FALSE(parse_u64("12x", u));
+  EXPECT_FALSE(parse_u64("", u));
+  std::int64_t i = 0;
+  EXPECT_TRUE(parse_i64("-42", i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(parse_i64("9223372036854775808", i));  // overflow
+}
+
+// ---------------------------------------------------------------------------
+// StateWriter / StateReader
+// ---------------------------------------------------------------------------
+
+TEST(StateIo, WriterReaderRoundTripAllTypes) {
+  StateWriter writer;
+  writer.write_u64("u", 42);
+  writer.write_i64("i", -7);
+  writer.write_bool("b", true);
+  writer.write_double("d", 0.1);
+  writer.write_string("s", "hello world");
+  const std::vector<double> doubles = {1.5, -0.0, 1e-9};
+  writer.write_doubles("ds", doubles);
+  const std::vector<std::uint64_t> u64s = {0, 1, 99};
+  writer.write_u64s("us", u64s);
+  Rng rng(123);
+  rng.normal();  // populate the Box-Muller cache so it must round-trip too
+  writer.write_rng("r", rng);
+
+  StateReader reader(writer.payload());
+  EXPECT_EQ(reader.read_u64("u"), 42u);
+  EXPECT_EQ(reader.read_i64("i"), -7);
+  EXPECT_TRUE(reader.read_bool("b"));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(reader.read_double("d")),
+            std::bit_cast<std::uint64_t>(0.1));
+  EXPECT_EQ(reader.read_string("s"), "hello world");
+  EXPECT_EQ(reader.read_doubles("ds", doubles.size()), doubles);
+  EXPECT_EQ(reader.read_u64s("us", u64s.size()), u64s);
+  Rng restored(0);
+  reader.read_rng("r", restored);
+  reader.expect_end();
+  for (int k = 0; k < 32; ++k) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(rng.normal()),
+              std::bit_cast<std::uint64_t>(restored.normal()));
+  }
+}
+
+TEST(StateIo, ReaderThrowsOnKeyMismatch) {
+  StateWriter writer;
+  writer.write_u64("expected", 1);
+  StateReader reader(writer.payload());
+  EXPECT_THROW(reader.read_u64("other"), StateError);
+}
+
+TEST(StateIo, ReaderThrowsOnTypeConfusionAndPrematureEnd) {
+  StateWriter writer;
+  writer.write_string("s", "not a number");
+  StateReader reader(writer.payload());
+  EXPECT_THROW(reader.read_u64("s"), StateError);
+  StateReader empty("");
+  EXPECT_THROW(empty.read_u64("s"), StateError);
+}
+
+TEST(StateIo, ExpectEndThrowsOnTrailingData) {
+  StateWriter writer;
+  writer.write_u64("a", 1);
+  writer.write_u64("b", 2);
+  StateReader reader(writer.payload());
+  reader.read_u64("a");
+  EXPECT_FALSE(reader.at_end());
+  EXPECT_THROW(reader.expect_end(), StateError);
+}
+
+TEST(StateIo, VectorCountMismatchThrows) {
+  StateWriter writer;
+  writer.write_doubles("v", std::vector<double>{1.0, 2.0});
+  StateReader reader(writer.payload());
+  EXPECT_THROW(reader.read_doubles("v", 3), StateError);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint envelope
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, EncodeDecodeRoundTrip) {
+  const std::string payload = "engine.slot u64 5\nengine.x d 0x1.8p+3\n";
+  EXPECT_EQ(decode_checkpoint(encode_checkpoint(payload)), payload);
+}
+
+TEST(Checkpoint, DecodeRejectsBadMagic) {
+  EXPECT_THROW(decode_checkpoint("NOT-A-CHECKPOINT v1 0 0\n"), StateError);
+  EXPECT_THROW(decode_checkpoint(""), StateError);
+}
+
+TEST(Checkpoint, DecodeRejectsVersionMismatch) {
+  std::string file = encode_checkpoint("k u64 1\n");
+  const auto pos = file.find("v1");
+  ASSERT_NE(pos, std::string::npos);
+  file[pos + 1] = '9';
+  EXPECT_THROW(decode_checkpoint(file), StateError);
+}
+
+TEST(Checkpoint, DecodeRejectsTruncation) {
+  const std::string file = encode_checkpoint("key u64 123456789\n");
+  EXPECT_THROW(decode_checkpoint(file.substr(0, file.size() - 4)), StateError);
+}
+
+TEST(Checkpoint, DecodeRejectsCorruptedPayloadByte) {
+  std::string file = encode_checkpoint("key u64 123456789\n");
+  file[file.size() - 3] ^= 0x01;  // flip a bit inside the payload
+  EXPECT_THROW(decode_checkpoint(file), StateError);
+}
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "cea_ckpt_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(CheckpointFileTest, WriteReadRoundTrip) {
+  const std::string payload = "engine.slot u64 80\n";
+  write_checkpoint_file(path_, payload);
+  EXPECT_EQ(read_checkpoint_file(path_), payload);
+  // No temp file is left behind after a successful atomic publish.
+  std::ifstream tmp(path_ + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST_F(CheckpointFileTest, OverwriteReplacesAtomically) {
+  write_checkpoint_file(path_, "a u64 1\n");
+  write_checkpoint_file(path_, "a u64 2\n");
+  EXPECT_EQ(read_checkpoint_file(path_), "a u64 2\n");
+}
+
+TEST_F(CheckpointFileTest, ReadRejectsMissingFile) {
+  EXPECT_THROW(read_checkpoint_file(path_ + ".does-not-exist"), StateError);
+}
+
+TEST_F(CheckpointFileTest, ReadRejectsTruncatedFile) {
+  write_checkpoint_file(path_, "engine.slot u64 123456\n");
+  std::string bytes;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 5));
+  }
+  EXPECT_THROW(read_checkpoint_file(path_), StateError);
+}
+
+// ---------------------------------------------------------------------------
+// Locale regression: every serialization path must ignore LC_NUMERIC.
+// Skipped when the host lacks the de_DE.UTF-8 locale.
+// ---------------------------------------------------------------------------
+
+class LocaleGuard {
+ public:
+  explicit LocaleGuard(const char* name) {
+    const char* current = std::setlocale(LC_ALL, nullptr);
+    saved_ = current != nullptr ? current : "C";
+    active_ = std::setlocale(LC_ALL, name) != nullptr;
+  }
+  ~LocaleGuard() { std::setlocale(LC_ALL, saved_.c_str()); }
+  bool active() const noexcept { return active_; }
+
+ private:
+  std::string saved_;
+  bool active_ = false;
+};
+
+#define CEA_REQUIRE_DE_LOCALE(guard)                                   \
+  LocaleGuard guard("de_DE.UTF-8");                                    \
+  if (!guard.active()) {                                               \
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed on this host";   \
+  }
+
+TEST(LocaleRegression, NumIoIgnoresCommaLocale) {
+  CEA_REQUIRE_DE_LOCALE(guard);
+  double v = 0.0;
+  ASSERT_TRUE(parse_double("7.4", v));
+  EXPECT_DOUBLE_EQ(v, 7.4);
+  EXPECT_FALSE(parse_double("7,4", v));
+  EXPECT_EQ(format_double(0.5, 3).find(','), std::string::npos);
+  const std::string exact = format_double_exact(0.1);
+  EXPECT_EQ(exact.find(','), std::string::npos);
+  double parsed = 0.0;
+  ASSERT_TRUE(parse_double(exact, parsed));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed),
+            std::bit_cast<std::uint64_t>(0.1));
+}
+
+TEST(LocaleRegression, StateIoRoundTripsUnderCommaLocale) {
+  CEA_REQUIRE_DE_LOCALE(guard);
+  StateWriter writer;
+  writer.write_double("d", 1.0 / 3.0);
+  writer.write_doubles("v", std::vector<double>{0.1, -2.5e-7});
+  StateReader reader(writer.payload());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(reader.read_double("d")),
+            std::bit_cast<std::uint64_t>(1.0 / 3.0));
+  const auto v = reader.read_doubles("v", 2);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(v[0]),
+            std::bit_cast<std::uint64_t>(0.1));
+}
+
+TEST(LocaleRegression, CsvExactRowsUnderCommaLocale) {
+  CEA_REQUIRE_DE_LOCALE(guard);
+  const std::string path = ::testing::TempDir() + "cea_locale_csv.csv";
+  {
+    CsvWriter writer(path);
+    writer.write_row_exact("row", {0.1, 7.4});
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  in.close();
+  std::remove(path.c_str());
+  // Three cells exactly: a comma-decimal "0,1" would add a fourth.
+  EXPECT_EQ(std::count(line.begin(), line.end(), ','), 2);
+  const auto second_comma = line.find(',', line.find(',') + 1);
+  double parsed = 0.0;
+  ASSERT_TRUE(parse_double(
+      line.substr(line.find(',') + 1, second_comma - line.find(',') - 1),
+      parsed));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed),
+            std::bit_cast<std::uint64_t>(0.1));
+}
+
+TEST(LocaleRegression, TraceIoRoundTripsUnderCommaLocale) {
+  CEA_REQUIRE_DE_LOCALE(guard);
+  const std::string workload_path =
+      ::testing::TempDir() + "cea_locale_workload.csv";
+  const std::string prices_path =
+      ::testing::TempDir() + "cea_locale_prices.csv";
+  Rng rng(5);
+  data::WorkloadConfig config;
+  config.num_slots = 16;
+  const auto workload = data::generate_workload(3, config, rng);
+  const auto prices = data::generate_prices(16, {}, rng);
+  data::save_workload_csv(workload, workload_path);
+  data::save_prices_csv(prices, prices_path);
+  const auto workload_back = data::load_workload_csv(workload_path);
+  const auto prices_back = data::load_prices_csv(prices_path);
+  std::remove(workload_path.c_str());
+  std::remove(prices_path.c_str());
+  EXPECT_EQ(workload_back, workload);
+  ASSERT_EQ(prices_back.size(), prices.size());
+  for (std::size_t t = 0; t < prices.size(); ++t) {
+    EXPECT_NEAR(prices_back.buy[t], prices.buy[t], 1e-9);
+    EXPECT_NEAR(prices_back.sell[t], prices.sell[t], 1e-9);
+  }
+}
+
+// Strict count validation in the workload loader (satellite: trace-I/O
+// parsing fixes) — rejections must name the offending line.
+
+class StrictWorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "cea_strict_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  void write(const std::string& contents) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+  std::string path_;
+};
+
+TEST_F(StrictWorkloadTest, RejectsNonIntegralCount) {
+  write("10,3.7,30\n");
+  EXPECT_THROW(data::load_workload_csv(path_), std::runtime_error);
+}
+
+TEST_F(StrictWorkloadTest, RejectsCountBeyondIntRange) {
+  write("10,5000000000,30\n");
+  EXPECT_THROW(data::load_workload_csv(path_), std::runtime_error);
+}
+
+TEST_F(StrictWorkloadTest, ErrorNamesTheLine) {
+  write("10,20,30\n40,bad,60\n");
+  try {
+    data::load_workload_csv(path_);
+    FAIL() << "expected a parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace cea::util
