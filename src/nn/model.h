@@ -64,6 +64,11 @@ class Sequential {
 
   std::size_t layer_count() const noexcept { return layers_.size(); }
 
+  /// Direct access to layer i (0 <= i < layer_count()). Quantization uses
+  /// this to pair each parameter block with its layer's channel layout.
+  Layer& layer(std::size_t i) noexcept { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const noexcept { return *layers_[i]; }
+
  private:
 #if defined(CEA_TELEMETRY)
   /// Per-layer duration histograms "nn.{fwd,bwd}.<model>.<i>.<layer>",

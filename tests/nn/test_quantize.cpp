@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "nn/layers.h"
 #include "nn/train.h"
@@ -57,11 +59,60 @@ TEST(Quantize, ValuesLandOnGrid) {
   auto model = make_probe(5);
   quantize_model(model, 4);
   // 4-bit symmetric grid: at most 2*(2^3-1)+1 = 15 distinct values per
-  // block.
-  model.visit_parameters([](std::span<float> block) {
-    std::set<float> distinct(block.begin(), block.end());
-    EXPECT_LE(distinct.size(), 15u);
-  });
+  // quantization unit. Weight matrices quantize per OUTPUT CHANNEL (each
+  // row its own grid); biases and other blocks per block.
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    Layer& layer = model.layer(i);
+    const std::size_t channels = layer.output_channels();
+    std::size_t block_index = 0;
+    layer.visit_parameters([&](std::span<float> block) {
+      const bool weight_matrix = block_index++ == 0 && channels > 0 &&
+                                 block.size() > channels &&
+                                 block.size() % channels == 0;
+      if (weight_matrix) {
+        const std::size_t per_channel = block.size() / channels;
+        for (std::size_t c = 0; c < channels; ++c) {
+          std::set<float> distinct(block.begin() + c * per_channel,
+                                   block.begin() + (c + 1) * per_channel);
+          EXPECT_LE(distinct.size(), 15u) << "layer " << i << " channel " << c;
+        }
+      } else {
+        std::set<float> distinct(block.begin(), block.end());
+        EXPECT_LE(distinct.size(), 15u) << "layer " << i;
+      }
+    });
+  }
+}
+
+TEST(Quantize, PerChannelGridsBeatPerBlock) {
+  // The point of per-channel scales: a channel with small weights keeps a
+  // fine grid even when a sibling channel holds a large outlier. With one
+  // per-block scale the small channel would collapse to zero at 4 bits.
+  const std::size_t channels = 2, per = 8;
+  std::vector<float> w(channels * per, 0.01f);
+  w[per] = 10.0f;  // channel 1 outlier
+  const std::vector<float> scales = per_channel_scales(w.data(), channels,
+                                                       per, 4);
+  ASSERT_EQ(scales.size(), channels);
+  EXPECT_FLOAT_EQ(scales[0], 0.01f / 7.0f);
+  EXPECT_FLOAT_EQ(scales[1], 10.0f / 7.0f);
+}
+
+TEST(Quantize, RejectsBitsOutsideSupportedRange) {
+  auto model = make_probe(12);
+  EXPECT_THROW(quantize_model(model, 1), std::invalid_argument);
+  EXPECT_THROW(quantize_model(model, 0), std::invalid_argument);
+  EXPECT_THROW(quantize_model(model, 17), std::invalid_argument);
+  EXPECT_THROW(quantize_model(model, 32), std::invalid_argument);
+  try {
+    quantize_model(model, 17);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "quantize_model: bits must be in [2, 16], got 17");
+  }
+  // Boundary values are accepted.
+  EXPECT_NO_THROW(quantize_model(model, 2));
+  EXPECT_NO_THROW(quantize_model(model, 16));
 }
 
 TEST(Quantize, Idempotent) {
