@@ -20,6 +20,7 @@
 #include "obs/export.h"
 #include "obs/telemetry.h"
 #include "sim/experiment.h"
+#include "util/check.h"
 #include "util/cpu.h"
 #include "util/csv.h"
 #include "util/thread_pool.h"
@@ -171,12 +172,22 @@ class TelemetrySession {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
+    // Capture the drop counters BEFORE disabling: disable_tracing()
+    // clears the trace-ring drop count, so reading it afterwards always
+    // reports 0 and silently hides ring saturation.
+    const std::uint64_t trace_drops = obs::trace_dropped();
+    const std::size_t check_drops = audit::dropped_count();
     obs::disable_tracing();
     obs::set_detail(false);
     obs::Metadata meta = run_metadata();
     char wall_text[32];
     std::snprintf(wall_text, sizeof(wall_text), "%.3f", wall);
     meta.push_back({"wall_clock_sec", wall_text});
+    // Saturation counters in the profile summary: nonzero trace_dropped
+    // means the Chrome trace is a truncated window, nonzero check_dropped
+    // means the audit collector overflowed its violation capacity.
+    meta.push_back({"trace_dropped", std::to_string(trace_drops)});
+    meta.push_back({"check_dropped", std::to_string(check_drops)});
 
     const auto parent = std::filesystem::path(path).parent_path();
     if (!parent.empty()) std::filesystem::create_directories(parent);
@@ -192,7 +203,7 @@ class TelemetrySession {
       std::printf("telemetry: wrote %s and %s (%zu trace events, %llu "
                   "dropped)\n",
                   path.c_str(), trace.c_str(), events.size(),
-                  static_cast<unsigned long long>(obs::trace_dropped()));
+                  static_cast<unsigned long long>(trace_drops));
     } else {
       std::fprintf(stderr, "telemetry: failed writing %s / %s\n",
                    path.c_str(), trace.c_str());

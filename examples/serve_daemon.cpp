@@ -10,7 +10,13 @@
 //   serve_daemon ... --restore --checkpoint ck.bin --trace-out resumed.csv
 //   cmp full.csv resumed.csv
 //
-// Exit codes: 0 success, 1 bad usage, 2 runtime failure.
+// Observability (DESIGN.md §13):
+//   serve_daemon ... --journal jdir --metrics-out metrics.prom \
+//                    --metrics-port 0 --slo-window 16
+//   journal_query jdir --verify
+//
+// Exit codes: 0 success, 1 bad usage, 2 runtime failure, 3 success but
+// the carbon-SLO watchdog raised at least one alert.
 
 #include <cstdio>
 #include <cstring>
@@ -18,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "serve/controller.h"
 #include "serve/daemon.h"
 #include "serve/feed.h"
@@ -48,6 +55,17 @@ struct Args {
   double mean_samples = 400.0;
   std::uint64_t seed = 7;
   bool pooled = false;
+  // Observability.
+  std::string journal_dir;
+  std::size_t journal_every = 1;
+  std::string metrics_out;
+  std::size_t metrics_every = 1;
+  int metrics_port = -1;
+  std::size_t slo_window = 16;
+  double slo_margin = 1.0;
+  double slo_min_balance = 0.0;
+  std::size_t slo_feed_stall_ms = 0;
+  std::size_t slo_deadline_ms = 0;
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -97,6 +115,26 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.seed = std::stoull(v);
     } else if (!std::strcmp(a, "--pooled")) {
       args.pooled = true;
+    } else if (!std::strcmp(a, "--journal") && (v = need_value(i))) {
+      args.journal_dir = v;
+    } else if (!std::strcmp(a, "--journal-every") && (v = need_value(i))) {
+      args.journal_every = std::stoul(v);
+    } else if (!std::strcmp(a, "--metrics-out") && (v = need_value(i))) {
+      args.metrics_out = v;
+    } else if (!std::strcmp(a, "--metrics-every") && (v = need_value(i))) {
+      args.metrics_every = std::stoul(v);
+    } else if (!std::strcmp(a, "--metrics-port") && (v = need_value(i))) {
+      args.metrics_port = std::stoi(v);
+    } else if (!std::strcmp(a, "--slo-window") && (v = need_value(i))) {
+      args.slo_window = std::stoul(v);
+    } else if (!std::strcmp(a, "--slo-margin") && (v = need_value(i))) {
+      args.slo_margin = std::stod(v);
+    } else if (!std::strcmp(a, "--slo-min-balance") && (v = need_value(i))) {
+      args.slo_min_balance = std::stod(v);
+    } else if (!std::strcmp(a, "--slo-feed-stall-ms") && (v = need_value(i))) {
+      args.slo_feed_stall_ms = std::stoul(v);
+    } else if (!std::strcmp(a, "--slo-deadline-ms") && (v = need_value(i))) {
+      args.slo_deadline_ms = std::stoul(v);
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", a);
       return false;
@@ -137,6 +175,10 @@ void write_trace(serve::ServeController& controller, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --telemetry [path]: same session harness as the benches — tracing +
+  // detail instrumentation on, profile JSON + Chrome trace out at exit.
+  bench::TelemetrySession telemetry =
+      bench::TelemetrySession::from_args(argc, argv);
   Args args;
   if (!parse_args(argc, argv, args)) return 1;
   try {
@@ -191,7 +233,26 @@ int main(int argc, char** argv) {
     config.max_slots = args.slots;
     config.stop_after_slots = args.stop_after;
     config.slot_delay_ms = args.slot_delay_ms;
+    config.journal_dir = args.journal_dir;
+    config.journal_every = args.journal_every;
+    config.metrics_path = args.metrics_out;
+    config.metrics_every = args.metrics_every;
+    config.metrics_port = args.metrics_port;
+    config.slo.window = args.slo_window;
+    config.slo.breach_margin = args.slo_margin;
+    config.slo.min_balance = args.slo_min_balance;
+    config.slo.feed_stall_ms =
+        static_cast<std::int64_t>(args.slo_feed_stall_ms);
+    config.slo.slot_deadline_ms =
+        static_cast<std::int64_t>(args.slo_deadline_ms);
     serve::ServeDaemon daemon(controller, *feed, config);
+    if (daemon.metrics_port() >= 0) {
+      // Flush so a scraper that parses our stdout for the ephemeral port
+      // sees the line before the (long-running) run loop starts.
+      std::printf("serve_daemon: metrics endpoint on 127.0.0.1:%d\n",
+                  daemon.metrics_port());
+      std::fflush(stdout);
+    }
 
     bool restored = false;
     if (args.restore) restored = daemon.restore_if_present();
@@ -215,6 +276,20 @@ int main(int argc, char** argv) {
     if (!args.trace_out.empty()) {
       write_trace(controller, args.trace_out);
       std::printf("  trace written to %s\n", args.trace_out.c_str());
+    }
+    if (report.journal_records > 0) {
+      std::printf("  journal: %zu record(s) in %zu segment(s)\n",
+                  report.journal_records, report.journal_segments);
+    }
+    if (report.alerts_total > 0) {
+      std::printf("  SLO alerts: %llu (cap_breach %llu, insolvency %llu, "
+                  "feed_stall %llu, deadline_miss %llu)\n",
+                  static_cast<unsigned long long>(report.alerts_total),
+                  static_cast<unsigned long long>(report.alerts[0]),
+                  static_cast<unsigned long long>(report.alerts[1]),
+                  static_cast<unsigned long long>(report.alerts[2]),
+                  static_cast<unsigned long long>(report.alerts[3]));
+      return 3;
     }
     return 0;
   } catch (const std::exception& e) {

@@ -42,6 +42,7 @@ class OnlineCarbonTrader final : public trading::TradingPolicy {
                 const trading::TradeObservation& obs,
                 const trading::TradeDecision& executed) override;
   std::string name() const override { return "OnlinePD"; }
+  double dual_value() const override { return lambda_; }
 
   /// Checkpointing: dual variable plus the trailing (t-1) observations.
   bool save_state(util::StateWriter& writer) const override;

@@ -1,0 +1,160 @@
+#include "obs/prom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/numio.h"
+
+namespace cea::obs {
+namespace {
+
+bool name_char_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Label values only need '\' , '"' and newline escaping per the format.
+std::string label_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_labels(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += prom_sanitize(labels[i].first);
+    out += "=\"";
+    out += label_escape(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_type(std::string& out, std::string_view name,
+                 std::string_view type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_sample(std::string& out, std::string_view name, double value) {
+  out += name;
+  out += ' ';
+  out += prom_value(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prom_sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
+  for (const char c : name) out += name_char_ok(c) ? c : '_';
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+std::string prom_value(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return util::format_double(value, 17);
+}
+
+double histogram_quantile(const HistogramValue& histogram, double q) {
+  if (histogram.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(histogram.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < histogram.bucket_counts.size(); ++b) {
+    const std::uint64_t in_bucket = histogram.bucket_counts[b];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < target) continue;
+    // Rank falls in this bucket. The overflow bucket has no finite upper
+    // edge; report the observed max (likewise clamp the first bucket's
+    // lower edge to the observed min).
+    if (b >= histogram.upper_edges.size()) return histogram.max;
+    const double hi = histogram.upper_edges[b];
+    const double lo = b == 0 ? std::min(histogram.min, hi)
+                             : histogram.upper_edges[b - 1];
+    const double fraction =
+        std::clamp((target - before) / static_cast<double>(in_bucket), 0.0,
+                   1.0);
+    return lo + (hi - lo) * fraction;
+  }
+  return histogram.max;
+}
+
+std::string prometheus_text(const Snapshot& snapshot,
+                            std::span<const PromSample> extra,
+                            std::string_view prefix) {
+  std::string out;
+  for (const CounterValue& counter : snapshot.counters) {
+    const std::string name =
+        std::string(prefix) + prom_sanitize(counter.name) + "_total";
+    append_type(out, name, "counter");
+    append_sample(out, name, counter.value);
+  }
+  for (const GaugeValue& gauge : snapshot.gauges) {
+    if (!gauge.ever_set) continue;
+    const std::string name = std::string(prefix) + prom_sanitize(gauge.name);
+    append_type(out, name, "gauge");
+    append_sample(out, name, gauge.value);
+  }
+  for (const HistogramValue& histogram : snapshot.histograms) {
+    const std::string name =
+        std::string(prefix) + prom_sanitize(histogram.name);
+    append_type(out, name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < histogram.bucket_counts.size(); ++b) {
+      cumulative += histogram.bucket_counts[b];
+      out += name;
+      out += "_bucket{le=\"";
+      out += b < histogram.upper_edges.size()
+                 ? prom_value(histogram.upper_edges[b])
+                 : std::string("+Inf");
+      out += "\"} ";
+      out += util::format_u64(cumulative);
+      out += '\n';
+    }
+    append_sample(out, name + "_sum", histogram.sum);
+    out += name;
+    out += "_count ";
+    out += util::format_u64(histogram.count);
+    out += '\n';
+  }
+  // Extra samples: consecutive same-name entries share one TYPE header.
+  std::string previous;
+  for (const PromSample& sample : extra) {
+    const std::string name = std::string(prefix) + prom_sanitize(sample.name);
+    if (name != previous) {
+      append_type(out, name, sample.type);
+      previous = name;
+    }
+    out += name;
+    append_labels(out, sample.labels);
+    out += ' ';
+    out += prom_value(sample.value);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cea::obs

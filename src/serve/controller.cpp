@@ -52,6 +52,37 @@ ServeController::ServeController(const std::vector<TenantSpec>& tenants,
   }
 }
 
+ServeController::~ServeController() = default;
+
+#if defined(CEA_TELEMETRY)
+// Adapter from one engine's SlotObserver to the controller-level
+// (tenant, slot) observer.
+struct ServeController::Tap final : sim::SlotObserver {
+  TenantSlotObserver* sink = nullptr;
+  std::size_t tenant = 0;
+  void on_slot(const sim::SlotObservation& observed) override {
+    sink->on_tenant_slot(tenant, observed);
+  }
+};
+
+void ServeController::set_observer(TenantSlotObserver* observer) {
+  if (observer == nullptr) {
+    for (auto& tenant : tenants_) tenant.engine->set_observer(nullptr);
+    taps_.clear();
+    return;
+  }
+  taps_.clear();
+  taps_.reserve(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    auto tap = std::make_unique<Tap>();
+    tap->sink = observer;
+    tap->tenant = i;
+    tenants_[i].engine->set_observer(tap.get());
+    taps_.push_back(std::move(tap));
+  }
+}
+#endif  // CEA_TELEMETRY
+
 std::size_t ServeController::slot() const noexcept {
   return tenants_.front().engine->slot();
 }

@@ -25,6 +25,19 @@
 
 namespace cea::serve {
 
+#if defined(CEA_TELEMETRY)
+/// Controller-level decision observer: one callback per (tenant, slot),
+/// in tenant-index order within each slot (phase 3 executes tenants in
+/// index order, and every engine hook fires synchronously). The daemon
+/// implements this to feed the decision journal and the SLO watchdog.
+class TenantSlotObserver {
+ public:
+  virtual ~TenantSlotObserver() = default;
+  virtual void on_tenant_slot(std::size_t tenant,
+                              const sim::SlotObservation& observed) = 0;
+};
+#endif
+
 /// One tenant: a scenario, an algorithm pairing, and a run seed.
 struct TenantSpec {
   std::string name;               ///< unique tenant id (checkpoint-validated)
@@ -50,6 +63,7 @@ class ServeController {
   /// std::invalid_argument on empty or duplicate-name tenant lists.
   ServeController(const std::vector<TenantSpec>& tenants,
                   const sim::SimOptions& options, MarketRule market = {});
+  ~ServeController();  // out of line: Tap is incomplete here
 
   std::size_t num_tenants() const noexcept { return tenants_.size(); }
   /// Sum of every tenant's edge count — the workload width step() expects.
@@ -73,6 +87,13 @@ class ServeController {
   void step(const trading::TradeObservation& quote,
             std::span<const int> workload_all);
 
+#if defined(CEA_TELEMETRY)
+  /// Attach (or detach with nullptr) the per-(tenant, slot) observer by
+  /// fanning a tap into every tenant engine. The observer must outlive
+  /// the controller or be detached first.
+  void set_observer(TenantSlotObserver* observer);
+#endif
+
   /// Serialize the full controller state (meta + every engine) into a
   /// checkpoint payload for util::encode_checkpoint/write_checkpoint_file.
   std::string checkpoint_payload() const;
@@ -95,6 +116,12 @@ class ServeController {
   std::vector<Tenant> tenants_;
   std::size_t total_edges_ = 0;
   MarketRule market_;
+#if defined(CEA_TELEMETRY)
+  struct Tap;
+  // unique_ptr for address stability: each engine keeps a pointer to its
+  // tap while attached.
+  std::vector<std::unique_ptr<Tap>> taps_;
+#endif
 };
 
 }  // namespace cea::serve

@@ -3,10 +3,16 @@
 #include <sys/stat.h>
 
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
+#include "obs/journal.h"
+#include "obs/prom.h"
 #include "obs/telemetry.h"
+#include "serve/metrics_server.h"
 #include "util/state_io.h"
 
 namespace cea::serve {
@@ -21,7 +27,276 @@ void sleep_ms(std::size_t ms) {
   if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
+#if defined(CEA_TELEMETRY)
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Journal only the state-driven rules: they are pure functions of the
+/// engines' computed state, so serial and pooled runs journal identical
+/// alerts. The clock-driven rules (feed stall, deadline miss) surface on
+/// the metrics page and in the exit code only.
+bool journaled_alert(obs::SloKind kind) {
+  return kind == obs::SloKind::kProjectedCapBreach ||
+         kind == obs::SloKind::kAllowanceInsolvency;
+}
+#endif
+
 }  // namespace
+
+#if defined(CEA_TELEMETRY)
+// All observability state of one daemon: the journal writer, the SLO
+// watchdog, the per-tenant gauge cache behind the metrics page, and the
+// optional TCP endpoint. Implements the controller observer so every
+// (tenant, slot) decision lands here synchronously, at a pool-quiescent
+// point, in deterministic tenant order.
+struct ServeDaemon::Obs final : TenantSlotObserver {
+  ServeController& controller;
+  const DaemonConfig& config;
+  obs::SloWatchdog watchdog;
+  std::unique_ptr<obs::JournalWriter> journal;
+  std::unique_ptr<MetricsServer> server;
+
+  /// Latest per-tenant state, fed by on_tenant_slot and re-synced from
+  /// the engines after a checkpoint restore.
+  struct TenantView {
+    std::string name;
+    std::uint64_t horizon = 0;
+    double carbon_cap = 0.0;
+    double balance = 0.0;
+    double emission_total = 0.0;
+    double trader_dual = std::numeric_limits<double>::quiet_NaN();
+    std::uint64_t switches_total = 0;
+  };
+  std::vector<TenantView> tenants;
+  std::int64_t last_ready_ms = 0;
+
+  Obs(ServeController& controller_in, const DaemonConfig& config_in)
+      : controller(controller_in),
+        config(config_in),
+        watchdog(config_in.slo, controller_in.num_tenants()) {
+    if (!config.journal_dir.empty()) {
+      journal = std::make_unique<obs::JournalWriter>(config.journal_dir);
+    }
+    if (config.metrics_port >= 0) {
+      server = std::make_unique<MetricsServer>(config.metrics_port);
+    }
+    tenants.resize(controller.num_tenants());
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      tenants[i].name = controller.tenant_name(i);
+      tenants[i].horizon = controller.tenant_env(i).horizon();
+      tenants[i].carbon_cap = controller.tenant_env(i).config().carbon_cap;
+    }
+    sync_from_engines();
+  }
+
+  /// Rebuild the cumulative gauges from the engines' recorded series —
+  /// construction over a restored controller and every restore_from()
+  /// land here so the metrics page continues where the crashed run left
+  /// off.
+  void sync_from_engines() {
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      auto& engine = controller.tenant_engine(i);
+      const sim::RunResult& result = engine.result();
+      double total = 0.0;
+      for (const double e : result.emissions) total += e;
+      tenants[i].emission_total = total;
+      tenants[i].balance = engine.allowance_balance();
+      tenants[i].switches_total = result.total_switches;
+    }
+
+    // Rebuild the watchdog's rolling windows and episode state from the
+    // engines' recorded emission series, so a restored run raises the
+    // same alerts with the same values as the uninterrupted run would
+    // (the journal bit-identity contract extends across restores). The
+    // full series is replayed — not just the last `window` slots —
+    // because the window sum is maintained incrementally and its
+    // floating-point value depends on the whole add/subtract history.
+    // Per-slot balances are not recorded, but only the final replayed
+    // evaluation's episode state survives, and at the restore boundary
+    // the live allowance balance IS that slot's balance. The replayed
+    // slots' own alerts were journaled by the previous life;
+    // absorb_replay() drops them.
+    watchdog = obs::SloWatchdog(config.slo, tenants.size());
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      const auto& emissions = controller.tenant_engine(i).result().emissions;
+      for (std::size_t t = 0; t < emissions.size(); ++t) {
+        obs::SloTenantSlot replayed;
+        replayed.slot = t;
+        replayed.horizon = tenants[i].horizon;
+        replayed.emission = emissions[t];
+        replayed.balance = tenants[i].balance;
+        watchdog.observe_slot(i, replayed);
+      }
+    }
+    watchdog.absorb_replay();
+  }
+
+  void on_tenant_slot(std::size_t tenant,
+                      const sim::SlotObservation& observed) override {
+    TenantView& view = tenants[tenant];
+    view.balance = observed.balance;
+    view.emission_total += observed.emission;
+    view.trader_dual = observed.trader_dual;
+    view.switches_total = observed.switches_total;
+
+    if (journal != nullptr) {
+      obs::JournalRecord record;
+      record.kind = obs::JournalRecord::Kind::kSlot;
+      record.tenant = view.name;
+      record.slot = observed.slot;
+      record.model_counts.assign(observed.model_counts.begin(),
+                                 observed.model_counts.end());
+      record.switches_total = observed.switches_total;
+      record.solver_lanes = observed.solver_lanes;
+      record.arena_overflows = observed.arena_overflows;
+      record.trader_dual = observed.trader_dual;
+      record.buy = observed.buy;
+      record.sell = observed.sell;
+      record.buy_price = observed.buy_price;
+      record.sell_price = observed.sell_price;
+      record.emission = observed.emission;
+      record.balance = observed.balance;
+      record.carbon_cap = observed.carbon_cap;
+      record.inference_cost = observed.inference_cost;
+      record.switching_cost = observed.switching_cost;
+      record.trading_cost = observed.trading_cost;
+      record.accuracy = observed.accuracy;
+      record.workload = observed.workload;
+      journal->append(record);
+    }
+
+    watchdog.observe_slot(tenant, {observed.slot, view.horizon,
+                                   observed.emission, observed.balance});
+  }
+
+  /// Route freshly drained alerts: state rules into the journal (as
+  /// kAlert records, after the slot records that produced them), every
+  /// rule into the counters the metrics page exports.
+  void record_alerts(const std::vector<obs::SloAlert>& alerts) {
+    if (journal == nullptr) return;
+    for (const obs::SloAlert& alert : alerts) {
+      if (!journaled_alert(alert.kind)) continue;
+      obs::JournalRecord record;
+      record.kind = obs::JournalRecord::Kind::kAlert;
+      record.tenant = alert.tenant < tenants.size()
+                          ? tenants[alert.tenant].name
+                          : std::string("-");
+      record.slot = alert.slot;
+      record.alert = obs::slo_kind_name(alert.kind);
+      record.value = alert.value;
+      record.threshold = alert.threshold;
+      journal->append(record);
+    }
+  }
+
+  void seal_journal() {
+    if (journal != nullptr) journal->seal();
+  }
+
+  /// Render the Prometheus page and push it to every configured sink.
+  /// Caller guarantees pool quiescence (slot boundary).
+  void publish_metrics(std::int64_t now_ms) {
+    if (config.metrics_path.empty() && server == nullptr) return;
+    const std::string text = render_metrics(now_ms);
+    if (!config.metrics_path.empty()) {
+      util::write_file_atomic(config.metrics_path, text);
+    }
+    if (server != nullptr) server->publish(text);
+  }
+
+  std::string render_metrics(std::int64_t now_ms) {
+    const std::size_t slots_done = controller.slot();
+    std::vector<obs::PromSample> extra;
+    // Per-tenant series, one loop per metric name so consecutive samples
+    // share a TYPE header (obs/prom.h grouping rule).
+    for (const TenantView& view : tenants) {
+      extra.push_back({"tenant_allowance_balance",
+                       {{"tenant", view.name}},
+                       view.balance,
+                       "gauge"});
+    }
+    for (const TenantView& view : tenants) {
+      extra.push_back({"tenant_emission_total",
+                       {{"tenant", view.name}},
+                       view.emission_total,
+                       "counter"});
+    }
+    for (const TenantView& view : tenants) {
+      // Fraction of the carbon cap already emitted, relative to the
+      // fraction of the horizon already served: 1.0 = exactly on pace to
+      // land at the cap, >1 = burning allowances faster than time.
+      double burn = 0.0;
+      if (slots_done > 0 && view.carbon_cap > 0.0 && view.horizon > 0) {
+        burn = (view.emission_total * static_cast<double>(view.horizon)) /
+               (view.carbon_cap * static_cast<double>(slots_done));
+      }
+      extra.push_back(
+          {"tenant_cap_burn_rate", {{"tenant", view.name}}, burn, "gauge"});
+    }
+    for (const TenantView& view : tenants) {
+      // Remaining allowance headroom as a fraction of the cap; negative
+      // when the tenant is emitting uncovered.
+      const double solvency = view.carbon_cap > 0.0
+                                  ? view.balance / view.carbon_cap
+                                  : view.balance;
+      extra.push_back({"tenant_allowance_solvency",
+                       {{"tenant", view.name}},
+                       solvency,
+                       "gauge"});
+    }
+    for (const TenantView& view : tenants) {
+      extra.push_back({"tenant_trader_dual",
+                       {{"tenant", view.name}},
+                       view.trader_dual,
+                       "gauge"});
+    }
+    for (const TenantView& view : tenants) {
+      extra.push_back({"tenant_switches_total",
+                       {{"tenant", view.name}},
+                       static_cast<double>(view.switches_total),
+                       "counter"});
+    }
+    for (std::size_t kind = 0; kind < obs::kSloKindCount; ++kind) {
+      extra.push_back(
+          {"slo_alerts_total",
+           {{"kind", obs::slo_kind_name(static_cast<obs::SloKind>(kind))}},
+           static_cast<double>(watchdog.counts()[kind]),
+           "counter"});
+    }
+    extra.push_back({"feed_staleness_ms",
+                     {},
+                     static_cast<double>(now_ms - last_ready_ms),
+                     "gauge"});
+    if (journal != nullptr) {
+      extra.push_back({"journal_records_sealed",
+                       {},
+                       static_cast<double>(journal->records_sealed()),
+                       "gauge"});
+      extra.push_back({"journal_segments_sealed",
+                       {},
+                       static_cast<double>(journal->segments_sealed()),
+                       "gauge"});
+    }
+    const obs::Snapshot snap = obs::snapshot();
+    // Slot wall-time quantiles out of the existing span histogram.
+    for (const obs::HistogramValue& histogram : snap.histograms) {
+      if (histogram.name != "serve.slot") continue;
+      extra.push_back({"slot_wall_ns",
+                       {{"quantile", "0.5"}},
+                       obs::histogram_quantile(histogram, 0.5),
+                       "gauge"});
+      extra.push_back({"slot_wall_ns",
+                       {{"quantile", "0.99"}},
+                       obs::histogram_quantile(histogram, 0.99),
+                       "gauge"});
+    }
+    return obs::prometheus_text(snap, extra);
+  }
+};
+#endif  // CEA_TELEMETRY
 
 ServeDaemon::ServeDaemon(ServeController& controller, FeedSource& feed,
                          DaemonConfig config)
@@ -32,6 +307,32 @@ ServeDaemon::ServeDaemon(ServeController& controller, FeedSource& feed,
         " edges, controller needs " +
         std::to_string(controller_.total_edges()));
   }
+#if defined(CEA_TELEMETRY)
+  const bool observability = !config_.journal_dir.empty() ||
+                             !config_.metrics_path.empty() ||
+                             config_.metrics_port >= 0 ||
+                             config_.slo.feed_stall_ms > 0 ||
+                             config_.slo.slot_deadline_ms > 0;
+  if (observability) {
+    obs_ = std::make_unique<Obs>(controller_, config_);
+    controller_.set_observer(obs_.get());
+  }
+#endif
+}
+
+ServeDaemon::~ServeDaemon() {
+#if defined(CEA_TELEMETRY)
+  if (obs_ != nullptr) controller_.set_observer(nullptr);
+#endif
+}
+
+int ServeDaemon::metrics_port() const noexcept {
+#if defined(CEA_TELEMETRY)
+  if (obs_ != nullptr && obs_->server != nullptr) {
+    return obs_->server->port();
+  }
+#endif
+  return -1;
 }
 
 bool ServeDaemon::restore_if_present() {
@@ -45,6 +346,9 @@ bool ServeDaemon::restore_if_present() {
 
 void ServeDaemon::restore_from(const std::string& path) {
   controller_.restore_payload(util::read_checkpoint_file(path));
+#if defined(CEA_TELEMETRY)
+  if (obs_ != nullptr) obs_->sync_from_engines();
+#endif
 }
 
 void ServeDaemon::write_checkpoint() {
@@ -61,6 +365,16 @@ DaemonReport ServeDaemon::run() {
   DaemonReport report;
   std::size_t pending_streak = 0;
   SlotInput input;
+#if defined(CEA_TELEMETRY)
+  const std::size_t journal_every =
+      config_.journal_every == 0 ? 1 : config_.journal_every;
+  const std::size_t metrics_every =
+      config_.metrics_every == 0 ? 1 : config_.metrics_every;
+  if (obs_ != nullptr) {
+    report.metrics_port = metrics_port();
+    obs_->last_ready_ms = steady_ms();  // the stall clock starts now
+  }
+#endif
   while (true) {
     const std::size_t t = controller_.slot();
     if (config_.max_slots != 0 && t >= config_.max_slots) break;
@@ -74,6 +388,9 @@ DaemonReport ServeDaemon::run() {
       static const obs::MetricId obs_pending =
           obs::counter("serve.feed_pending");
       obs::add(obs_pending, 1.0);
+      if (obs_ != nullptr) {
+        obs_->watchdog.observe_feed(t, steady_ms(), obs_->last_ready_ms);
+      }
 #endif
       ++pending_streak;
       if (config_.max_pending_polls != 0 &&
@@ -84,6 +401,13 @@ DaemonReport ServeDaemon::run() {
       continue;
     }
     pending_streak = 0;
+#if defined(CEA_TELEMETRY)
+    std::int64_t wall_start_ms = 0;
+    if (obs_ != nullptr) {
+      wall_start_ms = steady_ms();
+      obs_->last_ready_ms = wall_start_ms;
+    }
+#endif
     {
       CEA_SPAN("serve.slot");
       controller_.step(input.quote, input.workload);
@@ -92,12 +416,25 @@ DaemonReport ServeDaemon::run() {
 #if defined(CEA_TELEMETRY)
     static const obs::MetricId obs_slots = obs::counter("serve.slots");
     obs::add(obs_slots, 1.0);
+    if (obs_ != nullptr) {
+      obs_->watchdog.observe_slot_wall(t, steady_ms() - wall_start_ms);
+      obs_->record_alerts(obs_->watchdog.drain());
+      const std::size_t done = controller_.slot();
+      if (done % journal_every == 0) obs_->seal_journal();
+      if (done % metrics_every == 0) obs_->publish_metrics(steady_ms());
+    }
 #endif
     sleep_ms(config_.slot_delay_ms);
     const bool boundary =
         config_.checkpoint_every != 0 &&
         controller_.slot() % config_.checkpoint_every == 0;
     if (boundary) {
+#if defined(CEA_TELEMETRY)
+      // The journal must cover everything the checkpoint claims happened:
+      // seal before persisting the engine state, so a crash between the
+      // two leaves a journal that is at least as long as the checkpoint.
+      if (obs_ != nullptr) obs_->seal_journal();
+#endif
       write_checkpoint();
       ++report.checkpoints_written;
     }
@@ -106,11 +443,25 @@ DaemonReport ServeDaemon::run() {
       break;
     }
   }
+#if defined(CEA_TELEMETRY)
+  if (obs_ != nullptr) obs_->seal_journal();
+#endif
   if (!config_.checkpoint_path.empty()) {
     write_checkpoint();
     ++report.checkpoints_written;
   }
   report.final_slot = controller_.slot();
+#if defined(CEA_TELEMETRY)
+  if (obs_ != nullptr) {
+    obs_->publish_metrics(steady_ms());
+    report.alerts = obs_->watchdog.counts();
+    report.alerts_total = obs_->watchdog.total();
+    if (obs_->journal != nullptr) {
+      report.journal_records = obs_->journal->records_sealed();
+      report.journal_segments = obs_->journal->segments_sealed();
+    }
+  }
+#endif
   return report;
 }
 

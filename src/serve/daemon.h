@@ -11,9 +11,12 @@
 // signal handling, no logging policy — that lives in the CLI driver
 // (examples/serve_daemon.cpp). Tests drive the daemon in-process.
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "obs/slo.h"
 #include "serve/controller.h"
 #include "serve/feed.h"
 
@@ -37,6 +40,29 @@ struct DaemonConfig {
   /// Artificial pacing per slot (milliseconds); widens the kill window in
   /// the SIGKILL recovery drill, 0 for full speed.
   std::size_t slot_delay_ms = 0;
+
+  // --- observability (DESIGN.md §13) -----------------------------------
+  // All of it is observational: enabling any of these cannot change a
+  // computed result. Under -DCEA_TELEMETRY=OFF the engine hook feeding
+  // these surfaces is compiled out, so they stay inert (empty journal,
+  // registry-only metrics, no alerts).
+  /// Decision-journal directory (must already exist); empty disables the
+  /// journal. Segments are sealed crash-safely at slot boundaries.
+  std::string journal_dir;
+  /// Seal a journal segment every N executed slots (also sealed at every
+  /// checkpoint boundary and at shutdown). 0 behaves like 1.
+  std::size_t journal_every = 1;
+  /// Prometheus text snapshot path (written atomically at slot
+  /// boundaries); empty disables the metrics file.
+  std::string metrics_path;
+  /// Publish metrics every N executed slots. 0 behaves like 1.
+  std::size_t metrics_every = 1;
+  /// Loopback TCP metrics endpoint port (-1 disables; 0 picks an
+  /// ephemeral port — read it back from DaemonReport::metrics_port).
+  int metrics_port = -1;
+  /// Carbon-SLO watchdog rules (obs/slo.h). The watchdog runs whenever
+  /// any observability sink above is enabled.
+  obs::SloConfig slo;
 };
 
 /// Outcome of one ServeDaemon::run() invocation.
@@ -45,6 +71,14 @@ struct DaemonReport {
   std::size_t checkpoints_written = 0;
   std::size_t final_slot = 0;        ///< controller slot after the run
   bool feed_ended = false;           ///< stopped because the feed ended
+
+  // Observability outcome (all zero when observability is disabled or
+  // compiled out). Alert counts are per watchdog rule, indexed by SloKind.
+  std::array<std::uint64_t, obs::kSloKindCount> alerts{};
+  std::uint64_t alerts_total = 0;
+  std::size_t journal_records = 0;   ///< records sealed since construction
+  std::size_t journal_segments = 0;  ///< segments sealed since construction
+  int metrics_port = -1;             ///< bound endpoint port, -1 if none
 };
 
 class ServeDaemon {
@@ -53,6 +87,7 @@ class ServeDaemon {
   /// width must equal the controller's total_edges().
   ServeDaemon(ServeController& controller, FeedSource& feed,
               DaemonConfig config);
+  ~ServeDaemon();  // out of line: the observability state is incomplete here
 
   /// Restore the controller from config.checkpoint_path if the file
   /// exists; returns true when a checkpoint was loaded. Call before run().
@@ -71,10 +106,17 @@ class ServeDaemon {
   /// One checkpoint now (at the current slot boundary), crash-safely.
   void write_checkpoint();
 
+  /// Bound metrics endpoint port, or -1 when no endpoint is running.
+  int metrics_port() const noexcept;
+
  private:
   ServeController& controller_;
   FeedSource& feed_;
   DaemonConfig config_;
+#if defined(CEA_TELEMETRY)
+  struct Obs;  // journal writer + watchdog + metrics sinks (daemon.cpp)
+  std::unique_ptr<Obs> obs_;
+#endif
 };
 
 }  // namespace cea::serve

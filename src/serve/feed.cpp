@@ -22,6 +22,11 @@ bool file_exists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0;
 }
 
+bool directory_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
 /// Strict workload count, same contract as data/trace_io.h: integral,
 /// >= 1, within int range, locale-independent.
 int parse_count_strict(const std::string& cell, const std::string& context) {
@@ -123,6 +128,13 @@ DirectoryTailFeed::DirectoryTailFeed(std::string directory,
   if (num_edges_ == 0) {
     throw std::invalid_argument(
         "DirectoryTailFeed: num_edges must be positive");
+  }
+  // Fail at construction, not after hours of pending polls: a missing
+  // directory can never become ready (nobody can publish into it), and
+  // poll() would misread it as an endless kPending.
+  if (!directory_exists(directory_)) {
+    throw std::invalid_argument(
+        "DirectoryTailFeed: directory does not exist: " + directory_);
   }
 }
 

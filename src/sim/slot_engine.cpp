@@ -217,10 +217,16 @@ void SlotEngine::presolve() {
                               batch_solver_.scaled_lambda_warm(j));
     }
   }
+#if defined(CEA_TELEMETRY)
+  obs_solver_lanes_ = batch_count;
+#endif
 }
 
 trading::TradeDecision SlotEngine::begin_slot(
     const trading::TradeObservation& quote) {
+#if defined(CEA_TELEMETRY)
+  obs_solver_lanes_ = 0;  // presolve overwrites when it runs
+#endif
   if (any_batchable_) presolve();
   trading::TradeDecision trade;
   {
@@ -365,6 +371,39 @@ void SlotEngine::finish_slot(const trading::TradeObservation& quote,
     CEA_SPAN_DETAIL("sim.trader.feedback");
     trader_->feedback(t_, emission, quote, trade);
   }
+
+#if defined(CEA_TELEMETRY)
+  // Decision journal hook: one snapshot per slot, only when someone is
+  // attached (the daemon; batch runs and perf_fleet attach nothing, so
+  // this is one null check on their hot path). Every value is already
+  // fixed by the serial reduction above.
+  if (observer_ != nullptr) {
+    obs_model_counts_.assign(num_models_, 0);
+    for (std::size_t i = 0; i < num_edges_; ++i)
+      ++obs_model_counts_[part_model_[i]];
+    SlotObservation observed;
+    observed.slot = t_;
+    observed.model_counts = obs_model_counts_;
+    observed.switches_total = result_.total_switches;
+    observed.solver_lanes = obs_solver_lanes_;
+    observed.arena_overflows = state_.arena_overflows();
+    observed.trader_dual = trader_->dual_value();
+    observed.buy = trade.buy;
+    observed.sell = trade.sell;
+    observed.buy_price = quote.buy_price;
+    observed.sell_price = quote.sell_price;
+    observed.emission = emission;
+    observed.balance = allowance_balance_;
+    observed.carbon_cap = config.carbon_cap;
+    observed.inference_cost = result_.inference_cost.back();
+    observed.switching_cost = result_.switching_cost.back();
+    observed.trading_cost = result_.trading_cost.back();
+    observed.accuracy = result_.accuracy.back();
+    observed.workload = result_.workload.back();
+    observer_->on_slot(observed);
+  }
+#endif
+
   slot_workload_ = nullptr;
   ++t_;
 }

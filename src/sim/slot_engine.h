@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,41 @@
 #include "util/thread_pool.h"
 
 namespace cea::sim {
+
+#if defined(CEA_TELEMETRY)
+/// Per-slot decision snapshot handed to an attached SlotObserver at the
+/// very end of finish_slot (after the trader feedback, before the cursor
+/// advances). Every field comes out of the serial edge-ordered reduction,
+/// so observers inherit the engine's serial/pooled bit-identity. The
+/// counts span aliases engine scratch — copy it if it must outlive the
+/// callback.
+struct SlotObservation {
+  std::size_t slot = 0;  ///< the slot just executed
+  /// Edges that selected each model this slot (size = num_models()).
+  std::span<const std::uint64_t> model_counts;
+  std::uint64_t switches_total = 0;   ///< cumulative switches so far
+  std::uint64_t solver_lanes = 0;     ///< batched Tsallis solves this slot
+  std::uint64_t arena_overflows = 0;  ///< cumulative arena spills (0 = clean)
+  double trader_dual = 0.0;  ///< TradingPolicy::dual_value() after feedback
+  double buy = 0.0, sell = 0.0;              ///< executed z^t, w^t
+  double buy_price = 0.0, sell_price = 0.0;  ///< quote c^t, r^t
+  double emission = 0.0;    ///< e^t
+  double balance = 0.0;     ///< allowance balance after the slot
+  double carbon_cap = 0.0;  ///< R of the scenario
+  double inference_cost = 0.0, switching_cost = 0.0, trading_cost = 0.0;
+  double accuracy = 0.0, workload = 0.0;
+};
+
+/// Observer attached via SlotEngine::set_observer. Called synchronously on
+/// the engine-driving thread at a pool-quiescent point; must not call back
+/// into the engine. Observational only: the engine's arithmetic is
+/// identical with or without an observer attached.
+class SlotObserver {
+ public:
+  virtual ~SlotObserver() = default;
+  virtual void on_slot(const SlotObservation& observed) = 0;
+};
+#endif  // CEA_TELEMETRY
 
 class SlotEngine {
  public:
@@ -75,6 +111,13 @@ class SlotEngine {
   trading::TradeDecision begin_slot(const trading::TradeObservation& quote);
   void finish_slot(const trading::TradeObservation& quote,
                    trading::TradeDecision trade, const int* slot_workload);
+
+#if defined(CEA_TELEMETRY)
+  /// Attach (or detach with nullptr) the per-slot decision observer. The
+  /// observer must outlive the engine or be detached first. Compiled out
+  /// under -DCEA_TELEMETRY=OFF along with the hook itself.
+  void set_observer(SlotObserver* observer) { observer_ = observer; }
+#endif
 
   /// Slots executed so far, as a RunResult (series have length slot()).
   const RunResult& result() noexcept;
@@ -143,6 +186,9 @@ class SlotEngine {
   const int* slot_workload_ = nullptr;
 #if defined(CEA_TELEMETRY)
   bool obs_detail_ = false;
+  SlotObserver* observer_ = nullptr;
+  std::uint64_t obs_solver_lanes_ = 0;  ///< presolve batch width this slot
+  std::vector<std::uint64_t> obs_model_counts_;  ///< per-slot scratch
 #endif
 
   // Hoisted shard closure: no std::function construction per slot.

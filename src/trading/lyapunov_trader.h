@@ -24,6 +24,7 @@ class LyapunovTrader final : public TradingPolicy {
   void feedback(std::size_t t, double emission, const TradeObservation& obs,
                 const TradeDecision& executed) override;
   std::string name() const override { return "LY"; }
+  double dual_value() const override { return queue_; }
 
   double queue() const noexcept { return queue_; }
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -55,6 +56,14 @@ class TradingPolicy {
                         const TradeDecision& executed) = 0;
 
   virtual std::string name() const = 0;
+
+  /// The policy's dual/queue state after the latest feedback() — lambda^t
+  /// for the paper's primal-dual trader, Q^t for the Lyapunov baseline.
+  /// Observational only (decision journal, obs/journal.h); NaN when the
+  /// policy keeps no such state.
+  virtual double dual_value() const {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
 
   /// Checkpoint support (util/state_io.h): serialize the trader's full
   /// mutable state such that load_state() on a freshly constructed trader

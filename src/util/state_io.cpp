@@ -318,9 +318,7 @@ std::string decode_checkpoint(std::string_view file_bytes) {
   return std::string(payload);
 }
 
-void write_checkpoint_file(const std::string& path,
-                           std::string_view payload) {
-  const std::string bytes = encode_checkpoint(payload);
+void write_file_atomic(const std::string& path, std::string_view bytes) {
   const std::string temp_path = path + ".tmp";
   const int fd = ::open(temp_path.c_str(),
                         O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
@@ -368,7 +366,12 @@ void write_checkpoint_file(const std::string& path,
   }
 }
 
-std::string read_checkpoint_file(const std::string& path) {
+void write_checkpoint_file(const std::string& path,
+                           std::string_view payload) {
+  write_file_atomic(path, encode_checkpoint(payload));
+}
+
+std::string read_file_bytes(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     throw StateError("checkpoint: cannot open " + path + ": " +
@@ -389,7 +392,11 @@ std::string read_checkpoint_file(const std::string& path) {
     bytes.append(buffer, static_cast<std::size_t>(n));
   }
   ::close(fd);
-  return decode_checkpoint(bytes);
+  return bytes;
+}
+
+std::string read_checkpoint_file(const std::string& path) {
+  return decode_checkpoint(read_file_bytes(path));
 }
 
 }  // namespace cea::util

@@ -109,6 +109,17 @@ std::string decode_checkpoint(std::string_view file_bytes);
 /// failure.
 void write_checkpoint_file(const std::string& path, std::string_view payload);
 
+/// Crash-safe raw file publication — the same temp+fsync+rename+dir-fsync
+/// discipline write_checkpoint_file uses, without the checkpoint envelope.
+/// A reader never observes a torn `path`: it sees the previous complete
+/// file or the new one. Shared by the decision-journal segment writer and
+/// the metrics status-file publisher (obs/journal.h, serve/daemon.h).
+/// Throws StateError on any I/O failure.
+void write_file_atomic(const std::string& path, std::string_view bytes);
+
+/// Slurp a file's bytes; throws StateError when it cannot be opened/read.
+std::string read_file_bytes(const std::string& path);
+
 /// Read and validate a checkpoint file; returns the payload.
 std::string read_checkpoint_file(const std::string& path);
 

@@ -1,0 +1,119 @@
+#include "obs/prom.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cea::obs {
+namespace {
+
+TEST(PromSanitize, MapsUnsafeCharactersToUnderscore) {
+  EXPECT_EQ(prom_sanitize("serve.slot"), "serve_slot");
+  EXPECT_EQ(prom_sanitize("a-b/c d"), "a_b_c_d");
+  EXPECT_EQ(prom_sanitize("already_fine_09"), "already_fine_09");
+  EXPECT_EQ(prom_sanitize("9lives"), "_9lives");  // leading digit
+  EXPECT_EQ(prom_sanitize(""), "_");
+}
+
+TEST(PromValue, SpellsSpecialsThePrometheusWay) {
+  EXPECT_EQ(prom_value(std::numeric_limits<double>::quiet_NaN()), "NaN");
+  EXPECT_EQ(prom_value(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(prom_value(-std::numeric_limits<double>::infinity()), "-Inf");
+  EXPECT_EQ(prom_value(0.0), "0");
+  EXPECT_EQ(prom_value(1.5), "1.5");
+}
+
+TEST(PrometheusText, RendersCountersGaugesHistograms) {
+  Snapshot snapshot;
+  snapshot.counters.push_back({"slots.executed", 12.0});
+  snapshot.gauges.push_back({"fleet.edges", 64.0, /*ever_set=*/true});
+  snapshot.gauges.push_back({"never.set", 0.0, /*ever_set=*/false});
+  HistogramValue histogram;
+  histogram.name = "serve.slot";
+  histogram.upper_edges = {1.0, 10.0};
+  histogram.bucket_counts = {2, 3, 1};  // last bucket = overflow
+  histogram.count = 6;
+  histogram.sum = 21.5;
+  histogram.min = 0.5;
+  histogram.max = 40.0;
+  snapshot.histograms.push_back(histogram);
+
+  const std::string text = prometheus_text(snapshot, {});
+  EXPECT_NE(text.find("# TYPE cea_slots_executed_total counter\n"
+                      "cea_slots_executed_total 12\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cea_fleet_edges gauge\ncea_fleet_edges 64\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("never_set"), std::string::npos);
+  // Cumulative buckets with the implicit +Inf edge.
+  EXPECT_NE(text.find("cea_serve_slot_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cea_serve_slot_bucket{le=\"10\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cea_serve_slot_bucket{le=\"+Inf\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cea_serve_slot_sum 21.5\n"), std::string::npos);
+  EXPECT_NE(text.find("cea_serve_slot_count 6\n"), std::string::npos);
+}
+
+TEST(PrometheusText, ExtraSamplesShareTypeHeaderPerName) {
+  std::vector<PromSample> extra;
+  extra.push_back({"tenant_allowance_balance", {{"tenant", "t0"}}, 5.0,
+                   "gauge"});
+  extra.push_back({"tenant_allowance_balance", {{"tenant", "t1"}}, -1.25,
+                   "gauge"});
+  extra.push_back({"slo_alerts", {{"kind", "feed_stall"}}, 2.0, "counter"});
+
+  const std::string text = prometheus_text(Snapshot{}, extra);
+  // One TYPE header covering both tenant samples.
+  EXPECT_EQ(text,
+            "# TYPE cea_tenant_allowance_balance gauge\n"
+            "cea_tenant_allowance_balance{tenant=\"t0\"} 5\n"
+            "cea_tenant_allowance_balance{tenant=\"t1\"} -1.25\n"
+            "# TYPE cea_slo_alerts counter\n"
+            "cea_slo_alerts{kind=\"feed_stall\"} 2\n");
+}
+
+TEST(PrometheusText, EscapesLabelValues) {
+  std::vector<PromSample> extra;
+  extra.push_back({"g", {{"tenant", "a\"b\\c\nd"}}, 1.0, "gauge"});
+  const std::string text = prometheus_text(Snapshot{}, extra);
+  EXPECT_NE(text.find("cea_g{tenant=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(HistogramQuantile, InterpolatesAndClampsToObservedRange) {
+  HistogramValue histogram;
+  histogram.upper_edges = {10.0, 20.0};
+  histogram.bucket_counts = {4, 4, 2};
+  histogram.count = 10;
+  histogram.min = 2.0;
+  histogram.max = 50.0;
+
+  EXPECT_EQ(histogram_quantile(HistogramValue{}, 0.5), 0.0);  // empty
+  // Median: rank 5 falls in the second bucket, 1/4 of the way through.
+  EXPECT_DOUBLE_EQ(histogram_quantile(histogram, 0.5), 12.5);
+  // Tail rank lands in the overflow bucket: report the observed max.
+  EXPECT_DOUBLE_EQ(histogram_quantile(histogram, 0.99), 50.0);
+  // q clamps; q=0 stays within the first bucket's clamped lower edge.
+  EXPECT_DOUBLE_EQ(histogram_quantile(histogram, -1.0),
+                   histogram_quantile(histogram, 0.0));
+  EXPECT_GE(histogram_quantile(histogram, 0.0), histogram.min);
+}
+
+TEST(HistogramQuantile, SingleObservationReportsItsBucket) {
+  HistogramValue histogram;
+  histogram.upper_edges = {100.0};
+  histogram.bucket_counts = {1, 0};
+  histogram.count = 1;
+  histogram.min = 37.0;
+  histogram.max = 37.0;
+  const double median = histogram_quantile(histogram, 0.5);
+  EXPECT_GE(median, histogram.min);
+  EXPECT_LE(median, 100.0);
+}
+
+}  // namespace
+}  // namespace cea::obs

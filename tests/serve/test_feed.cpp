@@ -226,5 +226,36 @@ TEST_F(DirectoryTailTest, RejectsZeroEdges) {
   EXPECT_THROW(DirectoryTailFeed(dir_, 0), std::invalid_argument);
 }
 
+TEST_F(DirectoryTailTest, MissingDirectoryThrowsAtConstruction) {
+  // A missing directory can never become ready; constructing over one
+  // must fail loudly instead of polling kPending forever.
+  EXPECT_THROW(DirectoryTailFeed(dir_ + "_nonexistent", 2),
+               std::invalid_argument);
+  // A regular file is not a directory either.
+  write_file("slot_0.csv", "8.0,7.0\n1,2\n");
+  EXPECT_THROW(DirectoryTailFeed(dir_ + "/slot_0.csv", 2),
+               std::invalid_argument);
+}
+
+TEST_F(DirectoryTailTest, EmptySlotFileThrows) {
+  // An empty (or header-only) slot file is torn output from a broken
+  // producer, not a pending slot: it must throw, never parse as data.
+  DirectoryTailFeed feed(dir_, 2);
+  SlotInput input;
+  write_file("slot_0.csv", "");
+  EXPECT_THROW(feed.poll(0, input), std::runtime_error);
+}
+
+TEST_F(DirectoryTailTest, PartiallyPublishedTmpFileStaysPending) {
+  // publish_slot writes to "<slot>.csv.tmp" and renames; a concurrent
+  // poll must only ever see kPending or the complete file, never the
+  // half-written temp.
+  DirectoryTailFeed feed(dir_, 2);
+  write_file("slot_0.csv.tmp", "8.0,");  // torn mid-write
+  SlotInput input;
+  EXPECT_EQ(feed.poll(0, input), FeedStatus::kPending);
+  std::remove((dir_ + "/slot_0.csv.tmp").c_str());
+}
+
 }  // namespace
 }  // namespace cea::serve
